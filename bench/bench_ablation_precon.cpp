@@ -1,0 +1,85 @@
+// Ablation: pressure-solver composition.
+//
+// Compares GMRES iteration counts and wall time for the pressure Poisson
+// solve under (a) block-Jacobi, (b) two-level HSMG with the coarse grid
+// disabled-in-effect (FDM only), and (c) the full hybrid Schwarz multigrid —
+// quantifying why the paper's preconditioner design (eq. 3) matters.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_utils.hpp"
+#include "krylov/gmres.hpp"
+#include "precon/hsmg.hpp"
+
+using namespace felis;
+
+namespace {
+
+struct FdmOnlyPrecon final : krylov::Preconditioner {
+  precon::FdmSolver fdm;
+  operators::Context ctx;
+  explicit FdmOnlyPrecon(const operators::Context& c) : fdm(c), ctx(c) {}
+  void apply(const RealVec& r, RealVec& z) override {
+    fdm.apply(r, z);
+    ctx.gs->apply(z, gs::GsOp::kAdd);
+    const RealVec& w = ctx.gs->inverse_multiplicity();
+    for (usize i = 0; i < z.size(); ++i) z[i] *= w[i];
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("ablation — pressure preconditioner composition (eq. 3)\n\n");
+  comm::SelfComm comm;
+  mesh::BoxMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 5;
+  const mesh::HexMesh mesh = make_box_mesh(cfg);
+  auto fine = operators::make_rank_setup(mesh, 6, comm, false);
+  auto coarse = precon::make_coarse_setup(mesh, comm);
+  const operators::Context ctx = fine.ctx();
+
+  // Pressure-type RHS: mean-free weak load on the all-Neumann operator.
+  RealVec rhs(ctx.num_dofs());
+  for (usize i = 0; i < rhs.size(); ++i)
+    rhs[i] = ctx.coef->mass[i] *
+             (std::cos(M_PI * ctx.coef->x[i]) * std::cos(2 * M_PI * ctx.coef->y[i]) +
+              std::sin(3 * ctx.coef->z[i]));
+  ctx.gs->apply(rhs, gs::GsOp::kAdd);
+
+  krylov::HelmholtzOperator op(ctx, 1.0, 0.0, {});
+  krylov::GmresSolver gmres(ctx, 30);
+  krylov::SolveControl control;
+  control.abs_tol = 1e-8;
+  control.max_iterations = 800;
+
+  krylov::JacobiPrecon jacobi(operators::diag_helmholtz(ctx, 1.0, 0.0));
+  FdmOnlyPrecon fdm_only(ctx);
+  precon::HsmgPrecon hsmg(ctx, coarse.ctx(), precon::OverlapMode::kSerial);
+
+  std::printf("%6d elements, N=6, %zu pressure dofs, tol 1e-8\n\n",
+              mesh.num_elements(), ctx.num_dofs());
+  std::printf("%-28s %12s %12s %14s\n", "preconditioner", "iterations",
+              "time [ms]", "ms/iteration");
+  bench::print_rule(70);
+  const auto run = [&](const char* name, krylov::Preconditioner& pc) {
+    RealVec x(ctx.num_dofs(), 0.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto stats = gmres.solve(op, pc, rhs, x, control, true);
+    const double ms =
+        1e3 * std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count();
+    std::printf("%-28s %12d %12.1f %14.2f%s\n", name, stats.iterations, ms,
+                ms / stats.iterations, stats.converged ? "" : "  (NOT CONVERGED)");
+  };
+  run("block Jacobi", jacobi);
+  run("Schwarz/FDM only (no coarse)", fdm_only);
+  run("hybrid Schwarz multigrid", hsmg);
+  bench::print_rule(70);
+  std::printf("\n=> the coarse grid removes the mesh-size dependence; the FDM "
+              "smoother removes the\n   high-frequency error: together (eq. 3)"
+              " they give the small, scale-stable iteration\n   counts the "
+              "paper's strong scaling depends on.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Kernel microbenchmarks (google-benchmark): the matrix-free tensor-product
+// operators that dominate the solver, across polynomial orders, plus the
+// gather-scatter and the kernel autotuner's variant selection.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "device/autotune.hpp"
+#include "operators/ops.hpp"
+#include "operators/setup.hpp"
+#include "precon/fdm.hpp"
+
+using namespace felis;
+
+namespace {
+
+struct KernelFixture {
+  comm::SelfComm comm;
+  operators::RankSetup setup;
+  RealVec u, out, cx, cy, cz;
+
+  explicit KernelFixture(int degree) {
+    mesh::BoxMeshConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = 4;  // 64 elements
+    setup = operators::make_rank_setup(mesh::make_box_mesh(cfg), degree, comm,
+                                       true);
+    const operators::Context ctx = setup.ctx();
+    u.resize(ctx.num_dofs());
+    out.resize(ctx.num_dofs());
+    for (usize i = 0; i < u.size(); ++i)
+      u[i] = std::sin(3 * ctx.coef->x[i]) * ctx.coef->y[i];
+    cx.assign(ctx.num_dofs(), 1.0);
+    cy.assign(ctx.num_dofs(), 0.5);
+    cz.assign(ctx.num_dofs(), -0.2);
+  }
+};
+
+void BM_AxHelmholtz(benchmark::State& state) {
+  KernelFixture f(static_cast<int>(state.range(0)));
+  const operators::Context ctx = f.setup.ctx();
+  for (auto _ : state) {
+    operators::ax_helmholtz(ctx, f.u, f.out, 1.0, 0.5);
+    benchmark::DoNotOptimize(f.out.data());
+  }
+  const double n = state.range(0) + 1;
+  state.counters["GF/s"] = benchmark::Counter(
+      static_cast<double>(ctx.num_elements()) *
+          (12 * std::pow(n, 4) + 18 * std::pow(n, 3)) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_AxHelmholtz)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+
+void BM_DealiasedAdvection(benchmark::State& state) {
+  KernelFixture f(static_cast<int>(state.range(0)));
+  const operators::Context ctx = f.setup.ctx();
+  operators::Advector adv(ctx);
+  adv.set_velocity(f.cx, f.cy, f.cz);
+  for (auto _ : state) {
+    std::fill(f.out.begin(), f.out.end(), 0.0);
+    adv.apply(f.u, f.out, 1.0);
+    benchmark::DoNotOptimize(f.out.data());
+  }
+}
+BENCHMARK(BM_DealiasedAdvection)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_FdmSchwarz(benchmark::State& state) {
+  KernelFixture f(static_cast<int>(state.range(0)));
+  const operators::Context ctx = f.setup.ctx();
+  const precon::FdmSolver fdm(ctx);
+  for (auto _ : state) {
+    fdm.apply(f.u, f.out);
+    benchmark::DoNotOptimize(f.out.data());
+  }
+}
+BENCHMARK(BM_FdmSchwarz)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_GatherScatter(benchmark::State& state) {
+  KernelFixture f(static_cast<int>(state.range(0)));
+  const operators::Context ctx = f.setup.ctx();
+  for (auto _ : state) {
+    ctx.gs->apply(f.u, gs::GsOp::kAdd);
+    benchmark::DoNotOptimize(f.u.data());
+  }
+}
+BENCHMARK(BM_GatherScatter)->Arg(3)->Arg(7);
+
+void BM_Grad(benchmark::State& state) {
+  KernelFixture f(static_cast<int>(state.range(0)));
+  const operators::Context ctx = f.setup.ctx();
+  RealVec dx(ctx.num_dofs()), dy(ctx.num_dofs()), dz(ctx.num_dofs());
+  for (auto _ : state) {
+    operators::grad(ctx, f.u, dx, dy, dz);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_Grad)->Arg(5)->Arg(7);
+
+/// Autotuner demonstration: choose between tensor-contraction variants for
+/// the ax kernel's transpose stage (loop orders have measurably different
+/// cache behaviour at higher N).
+void BM_AutotuneReport(benchmark::State& state) {
+  KernelFixture f(7);
+  const operators::Context ctx = f.setup.ctx();
+  const field::Space& sp = *ctx.space;
+  const int n = sp.n;
+  RealVec in(static_cast<usize>(sp.nodes_per_element())), out_a(in.size()),
+      out_b(in.size());
+  for (usize i = 0; i < in.size(); ++i) in[i] = std::cos(0.1 * static_cast<real_t>(i));
+  const auto variant_axis0 = [&] {
+    for (int e = 0; e < 64; ++e)
+      field::apply_axis0(sp.d, in.data(), out_a.data(), n, n);
+  };
+  const auto variant_axis2 = [&] {
+    for (int e = 0; e < 64; ++e)
+      field::apply_axis2(sp.d, in.data(), out_b.data(), n, n);
+  };
+  usize best = 0;
+  for (auto _ : state) {
+    const device::TuneResult r = device::autotune(
+        {{"axis0-contraction", variant_axis0}, {"axis2-contraction", variant_axis2}},
+        2);
+    best = r.best_index;
+    benchmark::DoNotOptimize(best);
+  }
+  state.counters["winner"] = static_cast<double>(best);
+}
+BENCHMARK(BM_AutotuneReport)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/// \file bench_utils.hpp
+/// \brief Shared helpers for the figure/table reproduction benches: canonical
+/// small RBC cases, measured solver-iteration statistics, and table printing.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "case/rbc.hpp"
+#include "common/stats.hpp"
+#include "operators/setup.hpp"
+#include "perfmodel/workload.hpp"
+#include "precon/coarse.hpp"
+
+namespace felis::bench {
+
+struct RbcRun {
+  operators::RankSetup fine;
+  operators::RankSetup coarse;
+  std::unique_ptr<rbc::RbcSimulation> sim;
+};
+
+/// Canonical laptop-scale RBC slab used by the measurement benches.
+inline RbcRun make_rbc_run(comm::Communicator& comm, real_t rayleigh, int degree,
+                           real_t dt, int nz = 3,
+                           precon::OverlapMode overlap =
+                               precon::OverlapMode::kTaskParallel) {
+  mesh::BoxMeshConfig box;
+  box.nx = box.ny = 3;
+  box.nz = nz;
+  box.lx = box.ly = 2.0;
+  box.periodic_x = box.periodic_y = true;
+  const mesh::HexMesh mesh = make_box_mesh(box);
+  RbcRun run;
+  run.fine = operators::make_rank_setup(mesh, degree, comm, true);
+  run.coarse = precon::make_coarse_setup(mesh, comm);
+  rbc::RbcConfig config;
+  config.rayleigh = rayleigh;
+  config.dt = dt;
+  config.perturbation = 2e-2;
+  config.perturbation_lx = box.lx;
+  config.perturbation_ly = box.ly;
+  config.flow.velocity_walls = {mesh::FaceTag::kBottom, mesh::FaceTag::kTop};
+  config.flow.overlap = overlap;
+  run.sim = std::make_unique<rbc::RbcSimulation>(run.fine.ctx(), run.coarse.ctx(),
+                                                 config);
+  run.sim->set_initial_conditions();
+  return run;
+}
+
+/// Average solver iteration counts over `steps` steps after `transient`
+/// skipped ones — the measurement protocol of §6.1 (transient removal).
+struct MeasuredCounts {
+  perfmodel::SolverCounts counts;
+  SampleStats step_seconds;
+};
+
+inline MeasuredCounts measure_counts(rbc::RbcSimulation& sim, int transient,
+                                     int steps) {
+  MeasuredCounts m;
+  SampleStats p, v, s;
+  for (int i = 0; i < transient; ++i) sim.step();
+  for (int i = 0; i < steps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const fluid::StepInfo info = sim.step();
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    m.step_seconds.add(dt);
+    p.add(info.pressure_iterations);
+    v.add(info.velocity_iterations);
+    s.add(info.scalar_iterations);
+  }
+  m.counts.pressure_iterations = p.mean();
+  m.counts.velocity_iterations = v.mean();
+  m.counts.scalar_iterations = s.mean();
+  return m;
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace felis::bench

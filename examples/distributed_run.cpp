@@ -1,0 +1,71 @@
+// Distributed execution: the same RBC case on multiple simulated ranks
+// (threads with message passing — felis' stand-in for MPI, see DESIGN.md),
+// demonstrating the two-phase gather-scatter, per-rank profiling and the
+// task-overlapped pressure preconditioner running with real communication.
+//
+//   ./distributed_run [ranks] [steps]
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "case/rbc.hpp"
+#include "operators/setup.hpp"
+#include "precon/coarse.hpp"
+
+using namespace felis;
+
+int main(int argc, char** argv) {
+  const int nranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 60;
+
+  mesh::CylinderMeshConfig cyl;
+  cyl.nc = 2;
+  cyl.nr = 2;
+  cyl.nz = 8;
+  cyl.radius = 0.25;  // slender-ish cell
+  const mesh::HexMesh mesh = make_cylinder_mesh(cyl);
+
+  std::printf("distributed RBC: %d ranks (threads-as-ranks), %d elements\n",
+              nranks, mesh.num_elements());
+  std::mutex print_mutex;
+
+  comm::run_parallel(nranks, [&](comm::Communicator& comm) {
+    auto fine = operators::make_rank_setup(mesh, 4, comm, true);
+    auto coarse = precon::make_coarse_setup(mesh, comm);
+    {
+      std::lock_guard<std::mutex> lock(print_mutex);
+      std::printf(
+          "  rank %d: %d local elements, %zu gather-scatter neighbours, "
+          "%zu shared doubles per exchange\n",
+          comm.rank(), fine.lmesh.num_elements(), fine.gs->num_neighbors(),
+          fine.gs->send_doubles_per_apply());
+    }
+    comm.barrier();
+
+    rbc::RbcConfig config;
+    config.rayleigh = 5e4;
+    config.dt = 1.5e-2;
+    config.perturbation_lx = 2 * cyl.radius;
+    config.perturbation_ly = 2 * cyl.radius;
+    // Task-overlapped preconditioner: coarse-grid CG (with its own
+    // communication channel) runs concurrently with the Schwarz smoother.
+    config.flow.overlap = precon::OverlapMode::kTaskParallel;
+    rbc::RbcSimulation sim(fine.ctx(), coarse.ctx(), config);
+    sim.set_initial_conditions();
+
+    fluid::StepInfo last;
+    for (int s = 0; s < steps; ++s) last = sim.step();
+    const rbc::RbcDiagnostics d = sim.diagnostics();
+    comm.barrier();
+
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(print_mutex);
+      std::printf("\nafter %d steps: t=%.3f Nu_vol=%.4f KE=%.4e "
+                  "(identical on every rank)\n",
+                  steps, last.time, d.nusselt_volume, d.kinetic_energy);
+      std::printf("\nrank 0 wall-time distribution (Fig. 4 style):\n%s\n",
+                  fine.prof->report().c_str());
+    }
+  });
+  return 0;
+}

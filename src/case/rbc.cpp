@@ -1,0 +1,134 @@
+#include "case/rbc.hpp"
+
+#include <cmath>
+#include <random>
+
+namespace felis::rbc {
+
+RbcConfig config_from_params(const ParamMap& params) {
+  RbcConfig config;
+  config.rayleigh = params.get_real("case.Ra", config.rayleigh);
+  config.prandtl = params.get_real("case.Pr", config.prandtl);
+  config.dt = params.get_real("case.dt", config.dt);
+  config.perturbation = params.get_real("case.perturbation", config.perturbation);
+  config.perturbation_lx =
+      params.get_real("case.perturbation_lx", config.perturbation_lx);
+  config.perturbation_ly =
+      params.get_real("case.perturbation_ly", config.perturbation_ly);
+  config.seed = static_cast<unsigned>(params.get_int("case.seed", 7));
+  config.flow.max_order = params.get_int("fluid.max_order", config.flow.max_order);
+  config.flow.overlap = params.get_bool("fluid.overlap", true)
+                            ? precon::OverlapMode::kTaskParallel
+                            : precon::OverlapMode::kSerial;
+  config.flow.use_projection =
+      params.get_bool("fluid.use_projection", config.flow.use_projection);
+  config.flow.pressure_control.abs_tol =
+      params.get_real("fluid.pressure_tol", config.flow.pressure_control.abs_tol);
+  config.flow.velocity_control.abs_tol =
+      params.get_real("fluid.velocity_tol", config.flow.velocity_control.abs_tol);
+  config.flow.gmres_restart =
+      params.get_int("fluid.gmres_restart", config.flow.gmres_restart);
+  config.flow.coarse_iterations =
+      params.get_int("fluid.coarse_iterations", config.flow.coarse_iterations);
+  return config;
+}
+
+RbcSimulation::RbcSimulation(const operators::Context& fine,
+                             const operators::Context& coarse,
+                             const RbcConfig& config, real_t height)
+    : fine_(fine), config_(config), height_(height) {
+  fluid::FlowConfig flow = config.flow;
+  flow.dt = config.dt;
+  flow.viscosity = rbc_viscosity(config.rayleigh, config.prandtl);
+  flow.conductivity = rbc_conductivity(config.rayleigh, config.prandtl);
+  flow.buoyancy = 1.0;
+  flow.solve_scalar = true;
+  solver_ = std::make_unique<fluid::FlowSolver>(fine, coarse, flow);
+}
+
+void RbcSimulation::set_initial_conditions() {
+  const usize nd = fine_.num_dofs();
+  RealVec& temp = solver_->temperature();
+  // Conduction profile T = 1 − z/H plus a deterministic multi-mode
+  // perturbation vanishing at the plates (so the Dirichlet data is exact).
+  std::mt19937 gen(config_.seed);
+  std::uniform_real_distribution<real_t> phase(0.0, 2 * M_PI);
+  const real_t p1 = phase(gen), p2 = phase(gen), p3 = phase(gen);
+  const real_t kx = 2 * M_PI / config_.perturbation_lx;
+  const real_t ky = 2 * M_PI / config_.perturbation_ly;
+  for (usize i = 0; i < nd; ++i) {
+    const real_t x = fine_.coef->x[i];
+    const real_t y = fine_.coef->y[i];
+    const real_t z = fine_.coef->z[i] / height_;
+    const real_t envelope = std::sin(M_PI * z);
+    const real_t noise = std::sin(kx * x + p1) * std::cos(ky * y + p2) +
+                         0.5 * std::sin(2 * kx * x + p3) +
+                         0.25 * std::cos(ky * y - p1);
+    temp[i] = (1.0 - z) + config_.perturbation * envelope * noise;
+  }
+  // Reconcile duplicates so the seed field is exactly continuous (relevant
+  // across periodic seams).
+  fine_.gs->apply(temp, gs::GsOp::kAdd);
+  const RealVec& inv_mult = fine_.gs->inverse_multiplicity();
+  for (usize i = 0; i < nd; ++i) temp[i] *= inv_mult[i];
+  for (auto* c : {&solver_->u(), &solver_->v(), &solver_->w()})
+    std::fill(c->begin(), c->end(), 0.0);
+  solver_->apply_boundary_conditions();
+}
+
+RbcDiagnostics RbcSimulation::diagnostics() const {
+  RbcDiagnostics d;
+  const usize nd = fine_.num_dofs();
+  const RealVec& temp = solver_->temperature();
+  const RealVec& w = solver_->w();
+
+  // Plate Nusselt numbers: area-weighted −∂T/∂z (top flux is −∂T/∂z too;
+  // both equal Nu in steady state). Flux normalized by ΔT/H = 1/H.
+  RealVec dtdx(nd), dtdy(nd), dtdz(nd);
+  operators::grad(fine_, temp, dtdx, dtdy, dtdz);
+  const lidx_t npe = fine_.nodes_per_element();
+  for (const mesh::FaceTag tag : {mesh::FaceTag::kBottom, mesh::FaceTag::kTop}) {
+    real_t sums[2] = {0, 0};  // flux integral, area
+    const auto it = fine_.coef->boundary.find(tag);
+    if (it != fine_.coef->boundary.end()) {
+      for (const field::BoundaryFace& bf : it->second) {
+        const usize fn = bf.nodes.size();
+        for (usize i = 0; i < fn; ++i) {
+          const usize o = static_cast<usize>(bf.element) * static_cast<usize>(npe) +
+                          static_cast<usize>(bf.nodes[i]);
+          sums[0] += -dtdz[o] * bf.area[i];
+          sums[1] += bf.area[i];
+        }
+      }
+    }
+    fine_.comm->allreduce(sums, 2, comm::ReduceOp::kSum);
+    const real_t nu = (sums[1] > 0) ? height_ * sums[0] / sums[1] : 0.0;
+    if (tag == mesh::FaceTag::kBottom)
+      d.nusselt_bottom = nu;
+    else
+      d.nusselt_top = nu;
+  }
+
+  // Volume averages (counting every global dof once).
+  const RealVec& mult = fine_.gs->inverse_multiplicity();
+  const RealVec& mass = fine_.coef->mass;
+  real_t sums[4] = {0, 0, 0, 0};  // wT, |u|², T, volume
+  const RealVec& u = solver_->u();
+  const RealVec& v = solver_->v();
+  for (usize i = 0; i < nd; ++i) {
+    const real_t bw = mass[i] * mult[i];
+    sums[0] += bw * w[i] * temp[i];
+    sums[1] += bw * (u[i] * u[i] + v[i] * v[i] + w[i] * w[i]);
+    sums[2] += bw * temp[i];
+    sums[3] += bw;
+  }
+  fine_.comm->allreduce(sums, 4, comm::ReduceOp::kSum);
+  const real_t vol = sums[3];
+  d.nusselt_volume = 1.0 + std::sqrt(config_.rayleigh * config_.prandtl) *
+                               sums[0] / vol * height_;
+  d.kinetic_energy = 0.5 * sums[1] / vol;
+  d.temperature_mean = sums[2] / vol;
+  return d;
+}
+
+}  // namespace felis::rbc

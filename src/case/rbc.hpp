@@ -1,0 +1,92 @@
+/// \file rbc.hpp
+/// \brief The Rayleigh–Bénard convection case: setup, initial conditions and
+/// the physical diagnostics of the paper's scientific target.
+///
+/// The cell is heated from below (T=1) and cooled from the top (T=0); the
+/// side wall (cylinder) is adiabatic no-slip. Parameters follow paper eq. 1:
+/// free-fall units with ν = √(Pr/Ra) and κ = 1/√(Ra·Pr).
+///
+/// Diagnostics: the Nusselt number measured two independent ways —
+///  * plate heat flux:  Nu = ⟨−∂T/∂z⟩_plate (area-weighted, both plates);
+///  * volume average:   Nu = 1 + √(Ra·Pr)·⟨u_z T⟩_V —
+/// their agreement in a statistically steady state is a standard
+/// verification of RBC codes; Nu(Ra) is the paper's headline science
+/// question (classical Nu~Ra^{1/3} vs ultimate Nu~Ra^{1/2}).
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "common/params.hpp"
+#include "fluid/flow_solver.hpp"
+
+namespace felis::rbc {
+
+struct RbcConfig {
+  real_t rayleigh = 1e5;
+  real_t prandtl = 1.0;  ///< paper: Pr = 1
+  real_t dt = 1e-3;
+  fluid::FlowConfig flow;  ///< solver knobs; ν, κ, dt are overwritten
+
+  /// Amplitude of the initial temperature perturbation on the conduction
+  /// profile (0 = pure conduction).
+  real_t perturbation = 1e-2;
+  /// Horizontal periods of the perturbation modes. For periodic boxes these
+  /// MUST equal the box extents (otherwise the seed field is discontinuous
+  /// across the periodic seam and misses the unstable wavelength); for
+  /// enclosed cells any O(domain-size) value seeds fine.
+  real_t perturbation_lx = 1.0;
+  real_t perturbation_ly = 1.0;
+  unsigned seed = 7;
+};
+
+/// Physical diagnostics of the current state.
+struct RbcDiagnostics {
+  real_t nusselt_bottom = 0;   ///< ⟨−∂T/∂z⟩ on the hot plate
+  real_t nusselt_top = 0;      ///< ⟨−∂T/∂z⟩ on the cold plate
+  real_t nusselt_volume = 0;   ///< 1 + √(RaPr)·⟨u_z T⟩
+  real_t kinetic_energy = 0;   ///< ½⟨|u|²⟩
+  real_t temperature_mean = 0;
+};
+
+class RbcSimulation {
+ public:
+  /// `fine`/`coarse`: contexts over the RBC mesh (box or cylinder) whose
+  /// bottom/top faces are tagged kBottom/kTop. `height`: plate separation
+  /// (non-dimensionally 1 in the paper).
+  RbcSimulation(const operators::Context& fine, const operators::Context& coarse,
+                const RbcConfig& config, real_t height = 1.0);
+
+  /// Conduction profile + random perturbation; applies the BCs.
+  void set_initial_conditions();
+
+  fluid::StepInfo step() { return solver_->step(); }
+  fluid::FlowSolver& solver() { return *solver_; }
+
+  RbcDiagnostics diagnostics() const;
+
+  const RbcConfig& config() const { return config_; }
+
+ private:
+  operators::Context fine_;
+  RbcConfig config_;
+  real_t height_;
+  std::unique_ptr<fluid::FlowSolver> solver_;
+};
+
+/// Build an RbcConfig from a parsed case file (see ParamMap::parse). Keys:
+///   case.Ra, case.Pr, case.dt, case.perturbation, case.seed,
+///   case.perturbation_lx/_ly, fluid.max_order, fluid.overlap (bool),
+///   fluid.use_projection, fluid.pressure_tol, fluid.velocity_tol,
+///   fluid.gmres_restart, fluid.coarse_iterations.
+/// Missing keys keep their defaults.
+RbcConfig config_from_params(const ParamMap& params);
+
+/// Free-fall viscosity √(Pr/Ra) and diffusivity 1/√(Ra·Pr).
+inline real_t rbc_viscosity(real_t ra, real_t pr) { return std::sqrt(pr / ra); }
+inline real_t rbc_conductivity(real_t ra, real_t pr) {
+  return 1.0 / std::sqrt(ra * pr);
+}
+
+}  // namespace felis::rbc

@@ -1,0 +1,53 @@
+/// \file error.hpp
+/// \brief Error handling: checked assertions that throw, never abort.
+///
+/// Library code throws `felis::Error` on contract violations so that tests
+/// can assert on failure paths and long-running drivers can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace felis {
+
+/// Exception type thrown by all felis contract checks.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "felis check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace felis
+
+/// Always-on contract check (enabled in release builds too; the cost is
+/// negligible outside inner kernels, which use FELIS_ASSERT instead).
+#define FELIS_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::felis::detail::fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FELIS_CHECK_MSG(expr, msg)                                \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      std::ostringstream os_;                                     \
+      os_ << msg;                                                 \
+      ::felis::detail::fail(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                             \
+  } while (0)
+
+/// Debug-only assertion for inner kernels (compiled out with NDEBUG).
+#ifdef NDEBUG
+#define FELIS_ASSERT(expr) ((void)0)
+#else
+#define FELIS_ASSERT(expr) FELIS_CHECK(expr)
+#endif

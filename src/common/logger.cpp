@@ -1,0 +1,21 @@
+#include "common/logger.hpp"
+
+namespace felis {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) > static_cast<int>(level_)) return;
+  std::ostringstream os;
+  os << prefix_ << msg << '\n';
+  std::cout << os.str() << std::flush;
+}
+
+void Logger::section(const std::string& title) {
+  log(LogLevel::kInfo, "=== " + title + " ===");
+}
+
+}  // namespace felis

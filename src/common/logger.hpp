@@ -1,0 +1,55 @@
+/// \file logger.hpp
+/// \brief Minimal levelled logger with rank-aware prefixes.
+///
+/// Mirrors Neko's `log` module: sections, levelled messages, and the ability
+/// to silence output entirely (used by tests and by non-root ranks).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace felis {
+
+enum class LogLevel { kQuiet = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+/// Process-wide logger. Not thread-safe for interleaved message *content*;
+/// each message is emitted with a single stream insertion.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Optional prefix identifying the simulated rank ("[rank 3] ").
+  void set_prefix(std::string prefix) { prefix_ = std::move(prefix); }
+
+  void log(LogLevel level, const std::string& msg);
+
+  /// Emit a `=== title ===` section header at info level.
+  void section(const std::string& title);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::string prefix_;
+};
+
+namespace logging {
+template <typename... Args>
+std::string format(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace logging
+
+#define FELIS_LOG_INFO(...) \
+  ::felis::Logger::instance().log(::felis::LogLevel::kInfo, ::felis::logging::format(__VA_ARGS__))
+#define FELIS_LOG_WARN(...) \
+  ::felis::Logger::instance().log(::felis::LogLevel::kWarn, ::felis::logging::format(__VA_ARGS__))
+#define FELIS_LOG_DEBUG(...) \
+  ::felis::Logger::instance().log(::felis::LogLevel::kDebug, ::felis::logging::format(__VA_ARGS__))
+
+}  // namespace felis

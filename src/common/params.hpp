@@ -1,0 +1,51 @@
+/// \file params.hpp
+/// \brief Flat key–value parameter map (a deliberately small stand-in for
+/// Neko's JSON case files).
+///
+/// Keys are dotted paths ("case.fluid.Ra"); values are stored as strings and
+/// converted on access. Parsing accepts simple `key = value` lines with `#`
+/// comments, enough to express every example/bench case in this repo.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace felis {
+
+class ParamMap {
+ public:
+  ParamMap() = default;
+
+  /// Parse `key = value` lines; '#' starts a comment; blank lines ignored.
+  static ParamMap parse(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, real_t value);
+  void set(const std::string& key, int value);
+  void set(const std::string& key, bool value);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters; throw felis::Error if the key is missing or malformed.
+  std::string get_string(const std::string& key) const;
+  real_t get_real(const std::string& key) const;
+  int get_int(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+
+  /// Getters with defaults.
+  std::string get_string(const std::string& key, const std::string& def) const;
+  real_t get_real(const std::string& key, real_t def) const;
+  int get_int(const std::string& key, int def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  const std::map<std::string, std::string>& entries() const { return map_; }
+
+ private:
+  std::optional<std::string> lookup(const std::string& key) const;
+  std::map<std::string, std::string> map_;
+};
+
+}  // namespace felis

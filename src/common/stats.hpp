@@ -1,0 +1,80 @@
+/// \file stats.hpp
+/// \brief Sample statistics used by the measurement protocol of §6.1:
+/// time-per-step averages over repeated steps with transient removal, and
+/// 99% confidence intervals as plotted in Fig. 3.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace felis {
+
+/// Accumulates scalar samples and reports mean / stddev / confidence bounds.
+class SampleStats {
+ public:
+  void add(real_t x) {
+    // Welford's online algorithm: numerically stable single-pass moments.
+    ++n_;
+    const real_t delta = x - mean_;
+    mean_ += delta / static_cast<real_t>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::int64_t count() const { return n_; }
+  real_t mean() const { return mean_; }
+  real_t min() const { return min_; }
+  real_t max() const { return max_; }
+
+  real_t variance() const {
+    return n_ > 1 ? m2_ / static_cast<real_t>(n_ - 1) : 0.0;
+  }
+  real_t stddev() const { return std::sqrt(variance()); }
+
+  /// Standard error of the mean.
+  real_t sem() const {
+    return n_ > 0 ? stddev() / std::sqrt(static_cast<real_t>(n_)) : 0.0;
+  }
+
+  /// Half-width of the 99% confidence interval for the mean (normal
+  /// approximation, z = 2.5758; the paper's samples are 250 steps, where the
+  /// Student-t correction is negligible).
+  real_t ci99_halfwidth() const { return 2.5758293035489004 * sem(); }
+
+ private:
+  std::int64_t n_ = 0;
+  real_t mean_ = 0, m2_ = 0, min_ = 0, max_ = 0;
+};
+
+/// Least-squares fit of log(y) = a + b log(x); returns the exponent b and
+/// prefactor exp(a). Used for Nu ~ Ra^beta scaling fits.
+struct PowerFit {
+  real_t prefactor = 0;
+  real_t exponent = 0;
+};
+
+inline PowerFit fit_power_law(const std::vector<real_t>& x,
+                              const std::vector<real_t>& y) {
+  FELIS_CHECK(x.size() == y.size() && x.size() >= 2);
+  real_t sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const real_t n = static_cast<real_t>(x.size());
+  for (usize i = 0; i < x.size(); ++i) {
+    FELIS_CHECK_MSG(x[i] > 0 && y[i] > 0, "power-law fit requires positive data");
+    const real_t lx = std::log(x[i]);
+    const real_t ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  PowerFit fit;
+  fit.exponent = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  fit.prefactor = std::exp((sy - fit.exponent * sx) / n);
+  return fit;
+}
+
+}  // namespace felis

@@ -1,0 +1,34 @@
+/// \file types.hpp
+/// \brief Fundamental scalar and index types used throughout felis.
+///
+/// The paper's runs use double precision exclusively ("only double precision
+/// floating point numbers were used throughout", SC'23 §6); `real_t` is
+/// therefore `double` and there is no single-precision build flavour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace felis {
+
+/// Floating-point type for all field data and operators (double precision).
+using real_t = double;
+
+/// Local index type (within one rank): element ids, node ids, offsets.
+using lidx_t = std::int32_t;
+
+/// Global index type: unique global node / element numbers across all ranks.
+using gidx_t = std::int64_t;
+
+/// Size type for buffer lengths.
+using usize = std::size_t;
+
+/// Contiguous array of reals; the workhorse container for field storage.
+using RealVec = std::vector<real_t>;
+
+/// Number of space dimensions; felis meshes are always 3-D hexahedral
+/// (2-D problems are run as one-element-thick periodic slabs).
+inline constexpr int kDim = 3;
+
+}  // namespace felis

@@ -1,0 +1,84 @@
+/// \file bitstream.hpp
+/// \brief Bit-granular writer/reader over byte buffers — the substrate of the
+/// lossless entropy-coding stage of the in-situ compressor (§5.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace felis::compression {
+
+class BitWriter {
+ public:
+  void put_bit(bool bit) {
+    if (bit_pos_ == 0) buffer_.push_back(std::byte{0});
+    if (bit)
+      buffer_.back() |= static_cast<std::byte>(1u << bit_pos_);
+    bit_pos_ = (bit_pos_ + 1) % 8;
+  }
+
+  /// Write the low `count` bits of value, LSB first.
+  void put_bits(std::uint64_t value, int count) {
+    FELIS_CHECK(count >= 0 && count <= 64);
+    for (int i = 0; i < count; ++i) put_bit((value >> i) & 1u);
+  }
+
+  /// Unsigned Elias-gamma style: unary length prefix + binary payload.
+  /// Encodes any value >= 0 compactly when small values dominate.
+  void put_gamma(std::uint64_t value) {
+    ++value;  // gamma codes are for positive integers
+    int nbits = 0;
+    for (std::uint64_t v = value; v > 1; v >>= 1) ++nbits;
+    for (int i = 0; i < nbits; ++i) put_bit(false);
+    put_bit(true);
+    put_bits(value & ((1ull << nbits) - 1), nbits);
+  }
+
+  const std::vector<std::byte>& bytes() const { return buffer_; }
+  std::vector<std::byte> take() { return std::move(buffer_); }
+  usize bit_count() const {
+    return buffer_.size() * 8 - (bit_pos_ == 0 ? 0 : (8 - bit_pos_));
+  }
+
+ private:
+  std::vector<std::byte> buffer_;
+  unsigned bit_pos_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::byte>& bytes) : bytes_(bytes) {}
+
+  bool get_bit() {
+    FELIS_CHECK_MSG(pos_ / 8 < bytes_.size(), "BitReader: out of data");
+    const bool bit =
+        (static_cast<unsigned>(bytes_[pos_ / 8]) >> (pos_ % 8)) & 1u;
+    ++pos_;
+    return bit;
+  }
+
+  std::uint64_t get_bits(int count) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < count; ++i)
+      if (get_bit()) v |= (1ull << i);
+    return v;
+  }
+
+  std::uint64_t get_gamma() {
+    int nbits = 0;
+    while (!get_bit()) ++nbits;
+    const std::uint64_t payload = get_bits(nbits);
+    return ((1ull << nbits) | payload) - 1;
+  }
+
+  usize bit_position() const { return pos_; }
+
+ private:
+  const std::vector<std::byte>& bytes_;
+  usize pos_ = 0;
+};
+
+}  // namespace felis::compression

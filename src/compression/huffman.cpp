@@ -1,0 +1,172 @@
+#include "compression/huffman.hpp"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+#include "compression/bitstream.hpp"
+
+namespace felis::compression {
+
+namespace {
+
+constexpr int kSymbols = 256;
+constexpr int kMaxCodeLength = 32;
+
+/// Build code lengths with a standard Huffman tree over symbol frequencies.
+std::vector<int> build_code_lengths(const std::vector<std::uint64_t>& freq) {
+  struct Node {
+    std::uint64_t weight;
+    int index;  // < kSymbols: leaf; otherwise internal
+  };
+  const auto cmp = [](const Node& a, const Node& b) {
+    return a.weight > b.weight || (a.weight == b.weight && a.index > b.index);
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+  std::vector<std::array<int, 2>> children;
+  int next_internal = kSymbols;
+  int active = 0;
+  for (int s = 0; s < kSymbols; ++s) {
+    if (freq[static_cast<usize>(s)] > 0) {
+      heap.push({freq[static_cast<usize>(s)], s});
+      ++active;
+    }
+  }
+  std::vector<int> lengths(kSymbols, 0);
+  if (active == 0) return lengths;
+  if (active == 1) {
+    // Single distinct symbol: give it a 1-bit code.
+    for (int s = 0; s < kSymbols; ++s)
+      if (freq[static_cast<usize>(s)] > 0) lengths[static_cast<usize>(s)] = 1;
+    return lengths;
+  }
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    children.push_back({a.index, b.index});
+    heap.push({a.weight + b.weight, next_internal++});
+  }
+  // Depth-first walk to assign depths.
+  struct Frame {
+    int index;
+    int depth;
+  };
+  std::vector<Frame> stack{{heap.top().index, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.index < kSymbols) {
+      lengths[static_cast<usize>(f.index)] = std::max(f.depth, 1);
+    } else {
+      const auto& ch = children[static_cast<usize>(f.index - kSymbols)];
+      stack.push_back({ch[0], f.depth + 1});
+      stack.push_back({ch[1], f.depth + 1});
+    }
+  }
+  return lengths;
+}
+
+/// Canonical code assignment from lengths (shorter codes first, then symbol
+/// order); returns per-symbol (code, length) with codes in MSB-first order.
+void canonical_codes(const std::vector<int>& lengths,
+                     std::vector<std::uint32_t>& codes) {
+  codes.assign(kSymbols, 0);
+  std::vector<int> order;
+  for (int s = 0; s < kSymbols; ++s)
+    if (lengths[static_cast<usize>(s)] > 0) order.push_back(s);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int la = lengths[static_cast<usize>(a)];
+    const int lb = lengths[static_cast<usize>(b)];
+    return la < lb || (la == lb && a < b);
+  });
+  std::uint32_t code = 0;
+  int prev_len = 0;
+  for (const int s : order) {
+    const int len = lengths[static_cast<usize>(s)];
+    code <<= (len - prev_len);
+    codes[static_cast<usize>(s)] = code;
+    ++code;
+    prev_len = len;
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> huffman_encode(const std::vector<std::byte>& input) {
+  std::vector<std::uint64_t> freq(kSymbols, 0);
+  for (const std::byte b : input) ++freq[static_cast<usize>(b)];
+  std::vector<int> lengths = build_code_lengths(freq);
+  for (const int l : lengths)
+    FELIS_CHECK_MSG(l <= kMaxCodeLength, "Huffman code length overflow");
+  std::vector<std::uint32_t> codes;
+  canonical_codes(lengths, codes);
+
+  BitWriter out;
+  // Header: payload byte count, then 256 code lengths (6 bits each).
+  out.put_gamma(input.size());
+  for (int s = 0; s < kSymbols; ++s)
+    out.put_bits(static_cast<std::uint64_t>(lengths[static_cast<usize>(s)]), 6);
+  // Payload, MSB-first per code.
+  for (const std::byte b : input) {
+    const int len = lengths[static_cast<usize>(b)];
+    const std::uint32_t code = codes[static_cast<usize>(b)];
+    for (int i = len - 1; i >= 0; --i) out.put_bit((code >> i) & 1u);
+  }
+  return out.take();
+}
+
+std::vector<std::byte> huffman_decode(const std::vector<std::byte>& blob) {
+  BitReader in(blob);
+  const usize count = in.get_gamma();
+  std::vector<int> lengths(kSymbols);
+  for (int s = 0; s < kSymbols; ++s)
+    lengths[static_cast<usize>(s)] = static_cast<int>(in.get_bits(6));
+  std::vector<std::uint32_t> codes;
+  canonical_codes(lengths, codes);
+
+  // Decoding tables per length: first code and symbol list.
+  std::vector<std::vector<int>> by_length(kMaxCodeLength + 1);
+  std::vector<std::uint32_t> first_code(kMaxCodeLength + 1, 0);
+  {
+    std::vector<int> order;
+    for (int s = 0; s < kSymbols; ++s)
+      if (lengths[static_cast<usize>(s)] > 0) order.push_back(s);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const int la = lengths[static_cast<usize>(a)];
+      const int lb = lengths[static_cast<usize>(b)];
+      return la < lb || (la == lb && a < b);
+    });
+    for (const int s : order)
+      by_length[static_cast<usize>(lengths[static_cast<usize>(s)])].push_back(s);
+    for (int len = 1; len <= kMaxCodeLength; ++len) {
+      if (by_length[static_cast<usize>(len)].empty()) continue;
+      first_code[static_cast<usize>(len)] =
+          codes[static_cast<usize>(by_length[static_cast<usize>(len)].front())];
+    }
+  }
+
+  std::vector<std::byte> out;
+  out.reserve(count);
+  for (usize i = 0; i < count; ++i) {
+    std::uint32_t code = 0;
+    int len = 0;
+    for (;;) {
+      code = (code << 1) | static_cast<std::uint32_t>(in.get_bit());
+      ++len;
+      FELIS_CHECK_MSG(len <= kMaxCodeLength, "corrupt Huffman stream");
+      const auto& bucket = by_length[static_cast<usize>(len)];
+      if (!bucket.empty()) {
+        const std::uint32_t offset = code - first_code[static_cast<usize>(len)];
+        if (code >= first_code[static_cast<usize>(len)] && offset < bucket.size()) {
+          out.push_back(static_cast<std::byte>(bucket[static_cast<usize>(offset)]));
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace felis::compression

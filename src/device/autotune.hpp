@@ -1,0 +1,54 @@
+/// \file autotune.hpp
+/// \brief Kernel autotuning: time candidate implementations, keep the winner.
+///
+/// "The interface also allows for vendor-specific optimizations, with
+/// auto-tuning of key kernels for sustained performance" (§5.1). felis uses
+/// the same pattern for its tensor-product kernels: at setup, candidate
+/// variants are timed on representative data and the fastest is selected for
+/// the rest of the run.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace felis::device {
+
+struct TuneCandidate {
+  std::string name;
+  std::function<void()> run;
+};
+
+struct TuneResult {
+  usize best_index = 0;
+  std::vector<double> seconds;  ///< best-of-reps time per candidate
+};
+
+/// Time each candidate `reps` times (after one warmup) and return the index
+/// of the fastest along with all timings.
+inline TuneResult autotune(const std::vector<TuneCandidate>& candidates,
+                           int reps = 3) {
+  FELIS_CHECK_MSG(!candidates.empty(), "autotune: no candidates");
+  TuneResult result;
+  result.seconds.resize(candidates.size());
+  using Clock = std::chrono::steady_clock;
+  for (usize c = 0; c < candidates.size(); ++c) {
+    candidates[c].run();  // warmup
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = Clock::now();
+      candidates[c].run();
+      const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+      if (dt < best) best = dt;
+    }
+    result.seconds[c] = best;
+    if (best < result.seconds[result.best_index]) result.best_index = c;
+  }
+  return result;
+}
+
+}  // namespace felis::device

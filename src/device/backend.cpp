@@ -1,0 +1,32 @@
+#include "device/backend.hpp"
+
+#include <thread>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace felis::device {
+
+void OpenMpBackend::parallel_for(lidx_t n, const std::function<void(lidx_t)>& fn) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+  for (lidx_t i = 0; i < n; ++i) fn(i);
+#else
+  for (lidx_t i = 0; i < n; ++i) fn(i);
+#endif
+}
+
+Backend& default_backend() {
+  static SerialBackend serial;
+#ifdef _OPENMP
+  static OpenMpBackend openmp;
+  if (std::thread::hardware_concurrency() > 1) {
+    static Backend& chosen = openmp;
+    return chosen;
+  }
+#endif
+  return serial;
+}
+
+}  // namespace felis::device

@@ -1,0 +1,46 @@
+/// \file backend.hpp
+/// \brief Compute-backend abstraction (the device abstraction layer).
+///
+/// Neko "uses a device abstraction layer to manage device memory, data
+/// transfer and kernel launches from Fortran. Behind this interface, Neko
+/// calls the native accelerator implementation" (§5.1). In this CPU-only
+/// reproduction the layer dispatches element loops to a serial or an OpenMP
+/// backend; solver code never references a concrete backend, so adding one
+/// (as Neko adds CUDA/HIP/OpenCL) touches nothing above this interface.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace felis::device {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual std::string name() const = 0;
+  /// Execute fn(i) for i in [0, n); implementations may run iterations
+  /// concurrently, so fn must only write disjoint per-i data.
+  virtual void parallel_for(lidx_t n, const std::function<void(lidx_t)>& fn) = 0;
+};
+
+class SerialBackend final : public Backend {
+ public:
+  std::string name() const override { return "serial"; }
+  void parallel_for(lidx_t n, const std::function<void(lidx_t)>& fn) override {
+    for (lidx_t i = 0; i < n; ++i) fn(i);
+  }
+};
+
+class OpenMpBackend final : public Backend {
+ public:
+  std::string name() const override { return "openmp"; }
+  void parallel_for(lidx_t n, const std::function<void(lidx_t)>& fn) override;
+};
+
+/// Process-default backend: OpenMP when compiled in and more than one
+/// hardware thread is available, serial otherwise.
+Backend& default_backend();
+
+}  // namespace felis::device

@@ -1,0 +1,24 @@
+#include "field/bc.hpp"
+
+#include <algorithm>
+
+namespace felis::field {
+
+std::vector<lidx_t> boundary_dofs(const mesh::LocalMesh& lmesh, const Space& space,
+                                  const std::set<mesh::FaceTag>& tags) {
+  std::vector<lidx_t> dofs;
+  const lidx_t npe = space.nodes_per_element();
+  for (lidx_t e = 0; e < lmesh.num_elements(); ++e) {
+    for (int f = 0; f < mesh::kFacesPerElement; ++f) {
+      if (tags.count(lmesh.face_tags[static_cast<usize>(e)][static_cast<usize>(f)]) == 0)
+        continue;
+      for (const lidx_t node : face_nodes(f, space.n))
+        dofs.push_back(e * npe + node);
+    }
+  }
+  std::sort(dofs.begin(), dofs.end());
+  dofs.erase(std::unique(dofs.begin(), dofs.end()), dofs.end());
+  return dofs;
+}
+
+}  // namespace felis::field

@@ -1,0 +1,28 @@
+/// \file bc.hpp
+/// \brief Boundary-condition node sets on a rank-local mesh.
+///
+/// Dirichlet conditions in felis are applied with masks: a list of local dof
+/// offsets whose values are prescribed. Because a GLL node shared between a
+/// boundary face of one element and interior faces of neighbours must be
+/// masked everywhere, callers combine these lists with a gather–scatter
+/// *minimum* exchange of a 0/1 indicator (see gs/gather_scatter.hpp).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "field/coef.hpp"
+
+namespace felis::field {
+
+/// All element-local dof offsets (e·(N+1)³ + node) lying on faces whose tag
+/// is in `tags`. Offsets are unique and sorted.
+std::vector<lidx_t> boundary_dofs(const mesh::LocalMesh& lmesh, const Space& space,
+                                  const std::set<mesh::FaceTag>& tags);
+
+/// Set field values to `value` at the given dofs.
+inline void set_at(RealVec& field, const std::vector<lidx_t>& dofs, real_t value) {
+  for (const lidx_t d : dofs) field[static_cast<usize>(d)] = value;
+}
+
+}  // namespace felis::field

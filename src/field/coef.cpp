@@ -1,0 +1,276 @@
+#include "field/coef.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace felis::field {
+
+std::vector<lidx_t> face_nodes(int face, int n) {
+  std::vector<lidx_t> nodes;
+  nodes.reserve(static_cast<usize>(n) * static_cast<usize>(n));
+  const auto at = [n](int i, int j, int k) {
+    return static_cast<lidx_t>(i + n * (j + n * k));
+  };
+  const int lo = 0, hi = n - 1;
+  switch (face) {
+    case 0:  // r=-1, frame (s,t)
+      for (int k = 0; k < n; ++k)
+        for (int j = 0; j < n; ++j) nodes.push_back(at(lo, j, k));
+      break;
+    case 1:
+      for (int k = 0; k < n; ++k)
+        for (int j = 0; j < n; ++j) nodes.push_back(at(hi, j, k));
+      break;
+    case 2:  // s=-1, frame (r,t)
+      for (int k = 0; k < n; ++k)
+        for (int i = 0; i < n; ++i) nodes.push_back(at(i, lo, k));
+      break;
+    case 3:
+      for (int k = 0; k < n; ++k)
+        for (int i = 0; i < n; ++i) nodes.push_back(at(i, hi, k));
+      break;
+    case 4:  // t=-1, frame (r,s)
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) nodes.push_back(at(i, j, lo));
+      break;
+    case 5:
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) nodes.push_back(at(i, j, hi));
+      break;
+    default:
+      throw Error("face_nodes: invalid face");
+  }
+  return nodes;
+}
+
+namespace {
+
+/// The two varying reference axes of a face, in its (p,q) frame order.
+constexpr std::array<std::array<int, 2>, 6> kFaceAxes = {{
+    {1, 2}, {1, 2}, {0, 2}, {0, 2}, {0, 1}, {0, 1},
+}};
+/// The fixed axis and side (-1/+1) of each face.
+constexpr std::array<std::array<int, 2>, 6> kFaceNormalAxis = {{
+    {0, -1}, {0, +1}, {1, -1}, {1, +1}, {2, -1}, {2, +1},
+}};
+
+}  // namespace
+
+Coef build_coef(const mesh::LocalMesh& lmesh, const Space& space, bool dealias) {
+  const int n = space.n;
+  const int nd = space.nd;
+  const lidx_t npe = space.nodes_per_element();
+  const lidx_t npe_d = space.dealias_nodes_per_element();
+  const lidx_t nelem = lmesh.num_elements();
+  const usize total = static_cast<usize>(nelem) * static_cast<usize>(npe);
+  const usize total_d = static_cast<usize>(nelem) * static_cast<usize>(npe_d);
+
+  FELIS_CHECK_MSG(lmesh.degree == space.degree,
+                  "mesh numbering degree does not match space degree");
+
+  Coef coef;
+  coef.x.resize(total);
+  coef.y.resize(total);
+  coef.z.resize(total);
+  coef.jac.resize(total);
+  coef.mass.resize(total);
+  for (auto& a : coef.dxdr) a.resize(total);
+  for (auto& a : coef.drdx) a.resize(total);
+  for (auto& a : coef.g) a.resize(total);
+  if (dealias) {
+    for (auto& a : coef.drdx_d) a.resize(total_d);
+    coef.wjac_d.resize(total_d);
+  }
+
+  // 3-D quadrature weight products.
+  RealVec w3(static_cast<usize>(npe));
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        w3[static_cast<usize>(i + n * (j + n * k))] =
+            space.gll_wts[static_cast<usize>(i)] * space.gll_wts[static_cast<usize>(j)] *
+            space.gll_wts[static_cast<usize>(k)];
+  RealVec w3d;
+  if (dealias) {
+    w3d.resize(static_cast<usize>(npe_d));
+    for (int k = 0; k < nd; ++k)
+      for (int j = 0; j < nd; ++j)
+        for (int i = 0; i < nd; ++i)
+          w3d[static_cast<usize>(i + nd * (j + nd * k))] =
+              space.gl_wts[static_cast<usize>(i)] * space.gl_wts[static_cast<usize>(j)] *
+              space.gl_wts[static_cast<usize>(k)];
+  }
+
+  RealVec work(static_cast<usize>(nd) * static_cast<usize>(n) *
+               static_cast<usize>(nd + n));
+  RealVec dxdr_gl(dealias ? static_cast<usize>(npe_d) : 0);
+  coef.min_spacing = std::numeric_limits<real_t>::max();
+  coef.local_volume = 0;
+
+  for (lidx_t e = 0; e < nelem; ++e) {
+    const usize base = static_cast<usize>(e) * static_cast<usize>(npe);
+    const mesh::ElementMap& map = lmesh.maps[static_cast<usize>(e)];
+    // Nodal coordinates.
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) {
+          const mesh::Point p = map.map(space.gll_pts[static_cast<usize>(i)],
+                                        space.gll_pts[static_cast<usize>(j)],
+                                        space.gll_pts[static_cast<usize>(k)]);
+          const usize o = base + static_cast<usize>(i + n * (j + n * k));
+          coef.x[o] = p[0];
+          coef.y[o] = p[1];
+          coef.z[o] = p[2];
+        }
+    // Reference-space derivatives of each coordinate.
+    const real_t* coords[3] = {coef.x.data() + base, coef.y.data() + base,
+                               coef.z.data() + base};
+    for (int a = 0; a < 3; ++a) {
+      grad_ref(space.d, coords[a], coef.dxdr[static_cast<usize>(3 * a + 0)].data() + base,
+               coef.dxdr[static_cast<usize>(3 * a + 1)].data() + base,
+               coef.dxdr[static_cast<usize>(3 * a + 2)].data() + base, n);
+    }
+    // Pointwise inverse metric, Jacobian, mass and stiffness factors.
+    for (lidx_t q = 0; q < npe; ++q) {
+      const usize o = base + static_cast<usize>(q);
+      real_t m[3][3];
+      for (int a = 0; a < 3; ++a)
+        for (int b = 0; b < 3; ++b) m[a][b] = coef.dxdr[static_cast<usize>(3 * a + b)][o];
+      const real_t det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+                         m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+                         m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+      FELIS_CHECK_MSG(det > 0, "non-positive Jacobian in element " << e);
+      coef.jac[o] = det;
+      const real_t inv = 1.0 / det;
+      // drdx = adj(dxdr)ᵀ / det  (i.e. inverse of the 3×3).
+      real_t r[3][3];
+      r[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv;
+      r[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv;
+      r[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv;
+      r[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv;
+      r[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv;
+      r[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv;
+      r[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv;
+      r[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv;
+      r[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv;
+      for (int a = 0; a < 3; ++a)
+        for (int b = 0; b < 3; ++b) coef.drdx[static_cast<usize>(3 * a + b)][o] = r[a][b];
+      const real_t jw = det * w3[static_cast<usize>(q)];
+      coef.mass[o] = jw;
+      coef.local_volume += jw;
+      int gi = 0;
+      for (int a = 0; a < 3; ++a)
+        for (int b = a; b < 3; ++b) {
+          real_t s = 0;
+          for (int c = 0; c < 3; ++c) s += r[a][c] * r[b][c];
+          coef.g[static_cast<usize>(gi++)][o] = jw * s;
+        }
+    }
+    // Dealias-grid metrics: interpolate dx/dr (exact for the isoparametric
+    // geometry) and invert pointwise at the Gauss points.
+    if (dealias) {
+      const usize base_d = static_cast<usize>(e) * static_cast<usize>(npe_d);
+      std::array<RealVec*, 9> dst{};
+      for (int ab = 0; ab < 9; ++ab) dst[static_cast<usize>(ab)] = &coef.drdx_d[static_cast<usize>(ab)];
+      std::array<std::array<real_t, 3>, 3> m{};
+      std::array<RealVec, 9> gl_metric;
+      for (int ab = 0; ab < 9; ++ab) {
+        gl_metric[static_cast<usize>(ab)].resize(static_cast<usize>(npe_d));
+        interp3(space.interp, coef.dxdr[static_cast<usize>(ab)].data() + base,
+                gl_metric[static_cast<usize>(ab)].data(), work.data(), n, nd);
+      }
+      for (lidx_t q = 0; q < npe_d; ++q) {
+        for (int a = 0; a < 3; ++a)
+          for (int b = 0; b < 3; ++b)
+            m[static_cast<usize>(a)][static_cast<usize>(b)] =
+                gl_metric[static_cast<usize>(3 * a + b)][static_cast<usize>(q)];
+        const real_t det =
+            m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+            m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+            m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+        FELIS_CHECK_MSG(det > 0, "non-positive dealias Jacobian in element " << e);
+        const real_t inv = 1.0 / det;
+        const usize o = base_d + static_cast<usize>(q);
+        (*dst[0])[o] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv;
+        (*dst[1])[o] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv;
+        (*dst[2])[o] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv;
+        (*dst[3])[o] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv;
+        (*dst[4])[o] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv;
+        (*dst[5])[o] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv;
+        (*dst[6])[o] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv;
+        (*dst[7])[o] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv;
+        (*dst[8])[o] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv;
+        coef.wjac_d[o] = det * w3d[static_cast<usize>(q)];
+      }
+    }
+    // Minimum GLL spacing (for CFL estimates): check neighbours along each
+    // direction.
+    const auto at = [&](int i, int j, int k) { return base + static_cast<usize>(i + n * (j + n * k)); };
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) {
+          const usize o = at(i, j, k);
+          const usize nb[3] = {i + 1 < n ? at(i + 1, j, k) : o,
+                               j + 1 < n ? at(i, j + 1, k) : o,
+                               k + 1 < n ? at(i, j, k + 1) : o};
+          for (const usize nbo : nb) {
+            if (nbo == o) continue;
+            const real_t dx = coef.x[nbo] - coef.x[o];
+            const real_t dy = coef.y[nbo] - coef.y[o];
+            const real_t dz = coef.z[nbo] - coef.z[o];
+            const real_t dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+            if (dist < coef.min_spacing) coef.min_spacing = dist;
+          }
+        }
+    // Boundary faces with normals and area weights.
+    for (int f = 0; f < mesh::kFacesPerElement; ++f) {
+      const mesh::FaceTag tag = lmesh.face_tags[static_cast<usize>(e)][static_cast<usize>(f)];
+      if (tag == mesh::FaceTag::kInterior || tag == mesh::FaceTag::kPeriodic)
+        continue;
+      BoundaryFace bf;
+      bf.element = e;
+      bf.face = f;
+      bf.nodes = face_nodes(f, n);
+      const usize fn = bf.nodes.size();
+      bf.normal.resize(3 * fn);
+      bf.area.resize(fn);
+      const int ap = kFaceAxes[static_cast<usize>(f)][0];
+      const int aq = kFaceAxes[static_cast<usize>(f)][1];
+      const int an = kFaceNormalAxis[static_cast<usize>(f)][0];
+      const int side = kFaceNormalAxis[static_cast<usize>(f)][1];
+      for (usize idx = 0; idx < fn; ++idx) {
+        const usize o = base + static_cast<usize>(bf.nodes[idx]);
+        // Tangents along the two in-face reference axes.
+        real_t tp[3], tq[3];
+        for (int a = 0; a < 3; ++a) {
+          tp[a] = coef.dxdr[static_cast<usize>(3 * a + ap)][o];
+          tq[a] = coef.dxdr[static_cast<usize>(3 * a + aq)][o];
+        }
+        real_t nr[3] = {tp[1] * tq[2] - tp[2] * tq[1],
+                        tp[2] * tq[0] - tp[0] * tq[2],
+                        tp[0] * tq[1] - tp[1] * tq[0]};
+        const real_t len =
+            std::sqrt(nr[0] * nr[0] + nr[1] * nr[1] + nr[2] * nr[2]);
+        FELIS_CHECK_MSG(len > 0, "degenerate boundary face normal");
+        // Outward orientation: the normal must have positive component along
+        // +dx/dr_an for side=+1 faces, negative for side=-1.
+        real_t along = 0;
+        for (int a = 0; a < 3; ++a)
+          along += nr[a] * coef.dxdr[static_cast<usize>(3 * a + an)][o];
+        real_t sign = (along * side > 0) ? 1.0 : -1.0;
+        // In-face quadrature weights: node idx = p + n*q in the face frame.
+        const int p = static_cast<int>(idx) % n;
+        const int q = static_cast<int>(idx) / n;
+        bf.area[idx] = len * space.gll_wts[static_cast<usize>(p)] *
+                       space.gll_wts[static_cast<usize>(q)];
+        for (int a = 0; a < 3; ++a)
+          bf.normal[static_cast<usize>(a) * fn + idx] = sign * nr[a] / len;
+      }
+      coef.boundary[tag].push_back(std::move(bf));
+    }
+  }
+  return coef;
+}
+
+}  // namespace felis::field

@@ -1,0 +1,60 @@
+/// \file coef.hpp
+/// \brief Geometric factors ("coefficients") of the discretized domain.
+///
+/// Mirrors Neko's `coef_t`: per-GLL-node Jacobians, metric tensors and the
+/// diagonal mass matrix, plus the dealias-grid metrics used by the 3/2-rule
+/// advection operator, and boundary-face normals/areas used for diagnostics
+/// (plate heat flux → Nusselt number).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "field/space.hpp"
+#include "mesh/partition.hpp"
+
+namespace felis::field {
+
+/// One boundary face of one element with per-node outward normals and area
+/// weights (n² nodes, ordered by the face's lexicographic (p,q) frame).
+struct BoundaryFace {
+  lidx_t element = 0;                ///< local element index
+  int face = 0;                      ///< face id 0..5
+  std::vector<lidx_t> nodes;         ///< element-local node offsets, n² of them
+  RealVec normal;                    ///< 3·n²: unit outward normal (nx..,ny..,nz..)
+  RealVec area;                      ///< n²: area weight (|J_s| · w_p · w_q)
+};
+
+struct Coef {
+  // All volume arrays have one entry per local GLL node
+  // (num_elements × (N+1)³, element-major, i fastest).
+  RealVec x, y, z;                  ///< physical coordinates
+  RealVec jac;                      ///< det(dx/dr)
+  RealVec mass;                     ///< diagonal mass: jac · w_i w_j w_k
+  std::array<RealVec, 9> dxdr;      ///< [3a+b] = ∂x_a/∂r_b
+  std::array<RealVec, 9> drdx;      ///< [3a+b] = ∂r_a/∂x_b
+  /// Stiffness metrics with quadrature weights folded in:
+  /// g[0..5] = (g11,g12,g13,g22,g23,g33), g_ab = jac·w·Σ_c drdx(a,c)drdx(b,c).
+  std::array<RealVec, 6> g;
+
+  // Dealias-grid arrays (num_elements × nd³); empty if dealiasing disabled.
+  std::array<RealVec, 9> drdx_d;    ///< metrics at Gauss points
+  RealVec wjac_d;                   ///< jac·w at Gauss points
+
+  /// Boundary faces grouped by tag (kInterior never appears).
+  std::map<mesh::FaceTag, std::vector<BoundaryFace>> boundary;
+
+  real_t local_volume = 0;          ///< Σ mass over this rank
+
+  /// Smallest GLL grid spacing on this rank (for CFL-based dt control).
+  real_t min_spacing = 0;
+};
+
+/// Build all geometric factors for one rank's mesh.
+/// `dealias` controls whether the Gauss-grid metrics are generated.
+Coef build_coef(const mesh::LocalMesh& lmesh, const Space& space, bool dealias);
+
+/// Element-local node offsets of one face (n² entries in (p,q) order).
+std::vector<lidx_t> face_nodes(int face, int n);
+
+}  // namespace felis::field

@@ -1,0 +1,160 @@
+#include "fluid/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "compression/huffman.hpp"
+
+namespace felis::fluid {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x46454c4953434b31ull;  // "FELISCK1"
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  // Byte-wise append (a range insert here trips a GCC 12
+  // -Wstringop-overflow false positive on empty vectors).
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+std::uint64_t get_u64(const std::vector<std::byte>& in, usize& pos) {
+  FELIS_CHECK_MSG(pos + 8 <= in.size(), "checkpoint: truncated header");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(in[pos + static_cast<usize>(i)]) << (8 * i);
+  pos += 8;
+  return v;
+}
+
+void put_vec(std::vector<std::byte>& out, const RealVec& v) {
+  put_u64(out, v.size());
+  const auto* raw = reinterpret_cast<const std::byte*>(v.data());
+  out.insert(out.end(), raw, raw + v.size() * sizeof(real_t));
+}
+
+RealVec get_vec(const std::vector<std::byte>& in, usize& pos) {
+  const usize n = get_u64(in, pos);
+  FELIS_CHECK_MSG(pos + n * sizeof(real_t) <= in.size(),
+                  "checkpoint: truncated field");
+  RealVec v(n);
+  std::memcpy(v.data(), in.data() + pos, n * sizeof(real_t));
+  pos += n * sizeof(real_t);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::byte> Checkpoint::serialize(bool lossless_compress) const {
+  std::vector<std::byte> payload;
+  put_u64(payload, static_cast<std::uint64_t>(step));
+  RealVec clock{time};
+  put_vec(payload, clock);
+  for (const RealVec* f : {&u, &v, &w, &temperature, &pressure})
+    put_vec(payload, *f);
+  for (const auto* arr : {&u_lag1, &u_lag2, &f_lag0, &f_lag1})
+    for (const RealVec& f : *arr) put_vec(payload, f);
+  for (const RealVec* f : {&t_lag1, &t_lag2, &g_lag0, &g_lag1})
+    put_vec(payload, *f);
+
+  std::vector<std::byte> blob;
+  put_u64(blob, kMagic);
+  put_u64(blob, lossless_compress ? 1 : 0);
+  if (lossless_compress) {
+    const std::vector<std::byte> coded = compression::huffman_encode(payload);
+    blob.insert(blob.end(), coded.begin(), coded.end());
+  } else {
+    blob.insert(blob.end(), payload.begin(), payload.end());
+  }
+  return blob;
+}
+
+Checkpoint Checkpoint::deserialize(const std::vector<std::byte>& blob) {
+  usize pos = 0;
+  FELIS_CHECK_MSG(get_u64(blob, pos) == kMagic, "not a felis checkpoint");
+  const bool coded = get_u64(blob, pos) != 0;
+  std::vector<std::byte> payload;
+  if (coded) {
+    payload = compression::huffman_decode(
+        std::vector<std::byte>(blob.begin() + static_cast<std::ptrdiff_t>(pos),
+                               blob.end()));
+    pos = 0;
+  } else {
+    payload.assign(blob.begin() + static_cast<std::ptrdiff_t>(pos), blob.end());
+    pos = 0;
+  }
+  Checkpoint ck;
+  ck.step = static_cast<std::int64_t>(get_u64(payload, pos));
+  ck.time = get_vec(payload, pos).at(0);
+  for (RealVec* f : {&ck.u, &ck.v, &ck.w, &ck.temperature, &ck.pressure})
+    *f = get_vec(payload, pos);
+  for (auto* arr : {&ck.u_lag1, &ck.u_lag2, &ck.f_lag0, &ck.f_lag1})
+    for (RealVec& f : *arr) f = get_vec(payload, pos);
+  for (RealVec* f : {&ck.t_lag1, &ck.t_lag2, &ck.g_lag0, &ck.g_lag1})
+    *f = get_vec(payload, pos);
+  return ck;
+}
+
+void Checkpoint::save(const std::string& path, bool lossless_compress) const {
+  const std::vector<std::byte> blob = serialize(lossless_compress);
+  std::ofstream out(path, std::ios::binary);
+  FELIS_CHECK_MSG(out.good(), "cannot open checkpoint file " << path);
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  FELIS_CHECK_MSG(out.good(), "failed writing checkpoint " << path);
+}
+
+Checkpoint Checkpoint::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  FELIS_CHECK_MSG(in.good(), "cannot open checkpoint file " << path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> blob(static_cast<usize>(size));
+  in.read(reinterpret_cast<char*>(blob.data()), size);
+  FELIS_CHECK_MSG(in.good(), "failed reading checkpoint " << path);
+  return deserialize(blob);
+}
+
+Checkpoint capture_checkpoint(const FlowSolver& solver) {
+  Checkpoint ck;
+  ck.step = solver.step_count();
+  ck.time = solver.time();
+  ck.u = solver.u();
+  ck.v = solver.v();
+  ck.w = solver.w();
+  ck.temperature = solver.temperature();
+  ck.pressure = solver.pressure();
+  for (int c = 0; c < 3; ++c) {
+    ck.u_lag1[static_cast<usize>(c)] = solver.velocity_history(1, c);
+    ck.u_lag2[static_cast<usize>(c)] = solver.velocity_history(2, c);
+    ck.f_lag0[static_cast<usize>(c)] = solver.forcing_history(0, c);
+    ck.f_lag1[static_cast<usize>(c)] = solver.forcing_history(1, c);
+  }
+  ck.t_lag1 = solver.scalar_history(1);
+  ck.t_lag2 = solver.scalar_history(2);
+  ck.g_lag0 = solver.scalar_forcing_history(0);
+  ck.g_lag1 = solver.scalar_forcing_history(1);
+  return ck;
+}
+
+void restore_checkpoint(FlowSolver& solver, const Checkpoint& ck) {
+  FELIS_CHECK_MSG(ck.u.size() == solver.u().size(),
+                  "checkpoint dof count does not match the solver");
+  solver.u() = ck.u;
+  solver.v() = ck.v;
+  solver.w() = ck.w;
+  solver.temperature() = ck.temperature;
+  solver.pressure() = ck.pressure;
+  solver.set_velocity_history(1, ck.u_lag1[0], ck.u_lag1[1], ck.u_lag1[2]);
+  solver.set_velocity_history(2, ck.u_lag2[0], ck.u_lag2[1], ck.u_lag2[2]);
+  solver.set_forcing_history(0, ck.f_lag0[0], ck.f_lag0[1], ck.f_lag0[2]);
+  solver.set_forcing_history(1, ck.f_lag1[0], ck.f_lag1[1], ck.f_lag1[2]);
+  solver.set_scalar_history(1, ck.t_lag1);
+  solver.set_scalar_history(2, ck.t_lag2);
+  solver.set_scalar_forcing_history(0, ck.g_lag0);
+  solver.set_scalar_forcing_history(1, ck.g_lag1);
+  solver.set_step_index(ck.step);
+  solver.set_time(ck.time);
+}
+
+}  // namespace felis::fluid

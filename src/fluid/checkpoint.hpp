@@ -1,0 +1,51 @@
+/// \file checkpoint.hpp
+/// \brief Checkpoint/restart of a FlowSolver: serialize the complete
+/// integrator state (fields + BDF/EXT histories + clock) so a run continues
+/// *bit-for-bit* after a restart.
+///
+/// Data management is half of the paper's workflow story (§5.2): long RBC
+/// campaigns at Ra→1e15 run for weeks and restart constantly. felis
+/// checkpoints carry every history field the order-3 integrator needs, so a
+/// restarted run continues the original trajectory bit-for-bit when the
+/// residual-projection space is disabled, and to solver tolerance otherwise
+/// (the projection basis is derived acceleration state, deliberately not
+/// persisted) — both verified in tests/test_checkpoint.cpp. Optionally, the
+/// snapshot payload is routed
+/// through the in-situ compressor's lossless back end (the fields must stay
+/// exact; only the encoding changes).
+#pragma once
+
+#include <string>
+
+#include "fluid/flow_solver.hpp"
+
+namespace felis::fluid {
+
+struct Checkpoint {
+  std::int64_t step = 0;
+  real_t time = 0;
+  // Current fields.
+  RealVec u, v, w, temperature, pressure;
+  // Histories (lag 1 and 2 velocities/temperature; forcing lags 0 and 1).
+  std::array<RealVec, 3> u_lag1, u_lag2;
+  RealVec t_lag1, t_lag2;
+  std::array<RealVec, 3> f_lag0, f_lag1;
+  RealVec g_lag0, g_lag1;
+
+  /// Serialize to a self-describing binary blob (optionally entropy-coded).
+  std::vector<std::byte> serialize(bool lossless_compress = true) const;
+  static Checkpoint deserialize(const std::vector<std::byte>& blob);
+
+  /// File convenience wrappers.
+  void save(const std::string& path, bool lossless_compress = true) const;
+  static Checkpoint load(const std::string& path);
+};
+
+/// Capture the solver's complete integrator state.
+Checkpoint capture_checkpoint(const FlowSolver& solver);
+
+/// Restore a state captured by capture_checkpoint; the next step() continues
+/// the original run exactly (same order, same histories, same clock).
+void restore_checkpoint(FlowSolver& solver, const Checkpoint& checkpoint);
+
+}  // namespace felis::fluid

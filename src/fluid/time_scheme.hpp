@@ -1,0 +1,58 @@
+/// \file time_scheme.hpp
+/// \brief Implicit–explicit BDF/EXT time integration coefficients.
+///
+/// "For the discretization in time, we utilize a mixed implicit-explicit
+/// scheme, combining an extrapolation scheme and a backwards difference
+/// scheme, both of order 3." (§6). The first steps of a run use orders 1 and
+/// 2 (no history yet), exactly as Neko/Nek5000 start up.
+#pragma once
+
+#include <array>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace felis::fluid {
+
+/// Coefficients of the order-k IMEX step (constant dt):
+///   (b0·u^{n+1} − Σ_{j=1..k} a_j u^{n+1-j}) / dt
+///     = Σ_{j=1..k} e_j N(u^{n+1-j}) + L u^{n+1}.
+struct ImexCoefficients {
+  int order = 1;
+  real_t b0 = 1;                    ///< BDF leading coefficient
+  std::array<real_t, 3> a{};        ///< BDF history weights a_1..a_k
+  std::array<real_t, 3> e{};        ///< EXT extrapolation weights e_1..e_k
+};
+
+/// Coefficients for the requested order (1..3).
+inline ImexCoefficients imex_coefficients(int order) {
+  FELIS_CHECK_MSG(order >= 1 && order <= 3, "IMEX order must be 1..3");
+  ImexCoefficients c;
+  c.order = order;
+  switch (order) {
+    case 1:
+      c.b0 = 1.0;
+      c.a = {1.0, 0.0, 0.0};
+      c.e = {1.0, 0.0, 0.0};
+      break;
+    case 2:
+      c.b0 = 1.5;
+      c.a = {2.0, -0.5, 0.0};
+      c.e = {2.0, -1.0, 0.0};
+      break;
+    case 3:
+      c.b0 = 11.0 / 6.0;
+      c.a = {3.0, -1.5, 1.0 / 3.0};
+      c.e = {3.0, -3.0, 1.0};
+      break;
+  }
+  return c;
+}
+
+/// Startup ramp: order to use at 0-based step index (order 1, then 2, ...).
+inline int startup_order(std::int64_t step, int max_order) {
+  const int o = static_cast<int>(step) + 1;
+  return o < max_order ? o : max_order;
+}
+
+}  // namespace felis::fluid

@@ -1,0 +1,47 @@
+/// \file async_pod.hpp
+/// \brief Asynchronous in-situ POD: a consumer thread drains a SnapshotStream
+/// into a StreamingPod while the solver keeps stepping — the paper's
+/// solver-on-GPU / analysis-on-CPU overlap (§5.2), with the device freed the
+/// moment a snapshot is handed to the stream.
+#pragma once
+
+#include <thread>
+
+#include "insitu/snapshot_stream.hpp"
+#include "insitu/streaming_pod.hpp"
+
+namespace felis::insitu {
+
+class AsyncPod {
+ public:
+  AsyncPod(SnapshotStream& stream, RealVec weights, usize max_rank)
+      : pod_(std::move(weights), max_rank), stream_(stream) {
+    worker_ = std::thread([this] {
+      while (auto snapshot = stream_.pop()) pod_.add_snapshot(*snapshot);
+    });
+  }
+
+  AsyncPod(const AsyncPod&) = delete;
+  AsyncPod& operator=(const AsyncPod&) = delete;
+
+  ~AsyncPod() {
+    if (worker_.joinable()) {
+      stream_.close();
+      worker_.join();
+    }
+  }
+
+  /// Close the stream, drain remaining snapshots and return the result.
+  StreamingPod& finish() {
+    stream_.close();
+    if (worker_.joinable()) worker_.join();
+    return pod_;
+  }
+
+ private:
+  StreamingPod pod_;
+  SnapshotStream& stream_;
+  std::thread worker_;
+};
+
+}  // namespace felis::insitu

@@ -1,0 +1,41 @@
+#include "insitu/snapshot_stream.hpp"
+
+namespace felis::insitu {
+
+bool SnapshotStream::push(RealVec snapshot) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_push_.wait(lock, [this] { return queue_.size() < capacity_ || closed_; });
+  if (closed_) return false;
+  queue_.push_back(std::move(snapshot));
+  cv_pop_.notify_one();
+  return true;
+}
+
+std::optional<RealVec> SnapshotStream::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_pop_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;
+  RealVec snapshot = std::move(queue_.front());
+  queue_.pop_front();
+  cv_push_.notify_one();
+  return snapshot;
+}
+
+void SnapshotStream::close() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  closed_ = true;
+  cv_pop_.notify_all();
+  cv_push_.notify_all();
+}
+
+usize SnapshotStream::size() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool SnapshotStream::closed() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace felis::insitu

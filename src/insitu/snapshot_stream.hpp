@@ -1,0 +1,47 @@
+/// \file snapshot_stream.hpp
+/// \brief Bounded in-memory snapshot queue: the ADIOS2-style asynchronous
+/// in-situ channel of §5.2.
+///
+/// "while the main simulation is running on the GPUs, the data can be easily
+/// streamed to a data processing routine, running on the mostly unused CPUs
+/// of the compute nodes to post-process the data online". The solver thread
+/// pushes flow snapshots; a consumer thread (e.g. streaming POD) pops them
+/// concurrently. `push` blocks when the queue is full (back-pressure keeps
+/// memory bounded), `pop` blocks until data or close().
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace felis::insitu {
+
+class SnapshotStream {
+ public:
+  explicit SnapshotStream(usize capacity = 8) : capacity_(capacity) {}
+
+  /// Blocks while the queue is full; returns false if the stream was closed.
+  bool push(RealVec snapshot);
+
+  /// Blocks until a snapshot is available; empty optional = closed and
+  /// drained.
+  std::optional<RealVec> pop();
+
+  /// No more pushes; consumers drain the remainder then see end-of-stream.
+  void close();
+
+  usize size() const;
+  bool closed() const;
+
+ private:
+  usize capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_push_, cv_pop_;
+  std::deque<RealVec> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace felis::insitu

@@ -1,0 +1,83 @@
+#include "io/field_io.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace felis::io {
+
+void write_vtk(const std::string& path, const mesh::LocalMesh& lmesh,
+               const field::Space& space, const field::Coef& coef,
+               const FieldMap& fields) {
+  const int n = space.n;
+  const lidx_t npe = space.nodes_per_element();
+  const usize num_points = coef.x.size();
+  FELIS_CHECK(num_points ==
+              static_cast<usize>(lmesh.num_elements()) * static_cast<usize>(npe));
+  for (const auto& [name, data] : fields)
+    FELIS_CHECK_MSG(data && data->size() == num_points,
+                    "field '" << name << "' has wrong size");
+
+  std::ofstream out(path);
+  FELIS_CHECK_MSG(out.good(), "cannot open " << path);
+  out << "# vtk DataFile Version 3.0\n"
+      << "felis spectral-element field\n"
+      << "ASCII\nDATASET UNSTRUCTURED_GRID\n";
+  out << "POINTS " << num_points << " double\n";
+  out.precision(12);
+  for (usize i = 0; i < num_points; ++i)
+    out << coef.x[i] << ' ' << coef.y[i] << ' ' << coef.z[i] << '\n';
+
+  // N³ linear sub-hexes per element on the GLL lattice.
+  const lidx_t cells_per_element =
+      static_cast<lidx_t>(n - 1) * (n - 1) * (n - 1);
+  const lidx_t num_cells = lmesh.num_elements() * cells_per_element;
+  out << "CELLS " << num_cells << ' ' << num_cells * 9 << '\n';
+  const auto at = [n](int i, int j, int k) {
+    return static_cast<usize>(i + n * (j + n * k));
+  };
+  for (lidx_t e = 0; e < lmesh.num_elements(); ++e) {
+    const usize base = static_cast<usize>(e) * static_cast<usize>(npe);
+    for (int k = 0; k + 1 < n; ++k)
+      for (int j = 0; j + 1 < n; ++j)
+        for (int i = 0; i + 1 < n; ++i) {
+          // VTK_HEXAHEDRON ordering: bottom quad CCW, then top quad.
+          out << 8 << ' ' << base + at(i, j, k) << ' ' << base + at(i + 1, j, k)
+              << ' ' << base + at(i + 1, j + 1, k) << ' ' << base + at(i, j + 1, k)
+              << ' ' << base + at(i, j, k + 1) << ' ' << base + at(i + 1, j, k + 1)
+              << ' ' << base + at(i + 1, j + 1, k + 1) << ' '
+              << base + at(i, j + 1, k + 1) << '\n';
+        }
+  }
+  out << "CELL_TYPES " << num_cells << '\n';
+  for (lidx_t c = 0; c < num_cells; ++c) out << 12 << '\n';  // VTK_HEXAHEDRON
+
+  out << "POINT_DATA " << num_points << '\n';
+  for (const auto& [name, data] : fields) {
+    out << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+    for (const real_t v : *data) out << v << '\n';
+  }
+  FELIS_CHECK_MSG(out.good(), "failed writing " << path);
+}
+
+void write_csv(const std::string& path, const field::Coef& coef,
+               const FieldMap& fields) {
+  std::ofstream out(path);
+  FELIS_CHECK_MSG(out.good(), "cannot open " << path);
+  out << "x,y,z";
+  for (const auto& [name, data] : fields) {
+    FELIS_CHECK_MSG(data && data->size() == coef.x.size(),
+                    "field '" << name << "' has wrong size");
+    out << ',' << name;
+  }
+  out << '\n';
+  out.precision(12);
+  for (usize i = 0; i < coef.x.size(); ++i) {
+    out << coef.x[i] << ',' << coef.y[i] << ',' << coef.z[i];
+    for (const auto& [name, data] : fields) out << ',' << (*data)[i];
+    out << '\n';
+  }
+  FELIS_CHECK_MSG(out.good(), "failed writing " << path);
+}
+
+}  // namespace felis::io

@@ -1,0 +1,31 @@
+/// \file field_io.hpp
+/// \brief Field output: legacy-VTK unstructured grids (ParaView-ready) and
+/// CSV point clouds.
+///
+/// Every spectral element is subdivided into N³ linear hexahedral cells on
+/// its GLL lattice — the standard visualization of SEM data (high-order
+/// fields rendered on their native nodes). The paper's production runs write
+/// via ADIOS2 (§5.2); felis writes plain files, with the heavy lifting
+/// (lossy reduction) living in compression/.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "field/coef.hpp"
+
+namespace felis::io {
+
+/// Named nodal fields to write alongside the coordinates.
+using FieldMap = std::map<std::string, const RealVec*>;
+
+/// Legacy ASCII VTK (.vtk) unstructured grid with point data.
+void write_vtk(const std::string& path, const mesh::LocalMesh& lmesh,
+               const field::Space& space, const field::Coef& coef,
+               const FieldMap& fields);
+
+/// CSV: x,y,z,field1,field2,... one row per local GLL node.
+void write_csv(const std::string& path, const field::Coef& coef,
+               const FieldMap& fields);
+
+}  // namespace felis::io

@@ -1,0 +1,47 @@
+#include "krylov/solver.hpp"
+
+#include "field/bc.hpp"
+
+namespace felis::krylov {
+
+JacobiPrecon::JacobiPrecon(RealVec diag) : inv_diag_(std::move(diag)) {
+  for (real_t& v : inv_diag_) {
+    FELIS_CHECK_MSG(v != 0.0, "JacobiPrecon: zero diagonal entry");
+    v = 1.0 / v;
+  }
+}
+
+void JacobiPrecon::apply(const RealVec& r, RealVec& z) {
+  FELIS_CHECK(r.size() == inv_diag_.size());
+  z.resize(r.size());
+  for (usize i = 0; i < r.size(); ++i) z[i] = r[i] * inv_diag_[i];
+}
+
+HelmholtzOperator::HelmholtzOperator(const operators::Context& ctx, real_t h1,
+                                     real_t h2, std::vector<lidx_t> masked_dofs)
+    : ctx_(ctx), h1_(h1), h2_(h2), masked_dofs_(std::move(masked_dofs)) {}
+
+void HelmholtzOperator::apply(const RealVec& u, RealVec& out) {
+  out.resize(u.size());
+  operators::ax_helmholtz(ctx_, u, out, h1_, h2_);
+  ctx_.gs->apply(out, gs::GsOp::kAdd, ctx_.prof);
+  apply_mask(out, masked_dofs_);
+}
+
+std::vector<lidx_t> make_mask(const operators::Context& ctx,
+                              const std::set<mesh::FaceTag>& tags) {
+  RealVec indicator(ctx.num_dofs(), 1.0);
+  const auto owned = field::boundary_dofs(*ctx.lmesh, *ctx.space, tags);
+  field::set_at(indicator, owned, 0.0);
+  ctx.gs->apply(indicator, gs::GsOp::kMin);
+  std::vector<lidx_t> mask;
+  for (usize i = 0; i < indicator.size(); ++i)
+    if (indicator[i] == 0.0) mask.push_back(static_cast<lidx_t>(i));
+  return mask;
+}
+
+void apply_mask(RealVec& f, const std::vector<lidx_t>& mask) {
+  for (const lidx_t d : mask) f[static_cast<usize>(d)] = 0.0;
+}
+
+}  // namespace felis::krylov

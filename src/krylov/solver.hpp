@@ -1,0 +1,98 @@
+/// \file solver.hpp
+/// \brief Abstract operator / preconditioner interfaces and solver statistics.
+///
+/// Mirrors Neko's abstract-type design (§5.1): solvers are written against
+/// `LinearOperator::apply` ("compute") and `Preconditioner::apply`, never
+/// against concrete implementations, so tuned variants (e.g. the overlapped
+/// Schwarz preconditioner) drop in without touching the solver stack.
+#pragma once
+
+#include <set>
+
+#include "operators/ops.hpp"
+
+namespace felis::krylov {
+
+/// Fully assembled linear operator on continuous fields: implementations
+/// compose the local matrix-free kernel, the gather–scatter and Dirichlet
+/// masks.
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+  virtual void apply(const RealVec& u, RealVec& out) = 0;
+};
+
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  virtual void apply(const RealVec& r, RealVec& z) = 0;
+};
+
+/// z = r (no preconditioning).
+class IdentityPrecon final : public Preconditioner {
+ public:
+  void apply(const RealVec& r, RealVec& z) override { z = r; }
+};
+
+/// Block-Jacobi (assembled-diagonal) preconditioner — used for the velocity
+/// and temperature solves in the paper (§6) and for the coarse grid.
+class JacobiPrecon final : public Preconditioner {
+ public:
+  /// diag: assembled diagonal (from operators::diag_helmholtz or the coarse
+  /// operator); entries must be nonzero.
+  explicit JacobiPrecon(RealVec diag);
+  void apply(const RealVec& r, RealVec& z) override;
+
+ private:
+  RealVec inv_diag_;
+};
+
+struct SolveStats {
+  int iterations = 0;
+  real_t initial_residual = 0;
+  real_t final_residual = 0;
+  bool converged = false;
+};
+
+struct SolveControl {
+  real_t abs_tol = 1e-9;
+  real_t rel_tol = 0;      ///< 0 disables the relative criterion
+  int max_iterations = 200;
+};
+
+/// Assembled Helmholtz operator h1·A + h2·B with Dirichlet masking: the
+/// standard operator for pressure (h2=0), velocity and temperature solves.
+class HelmholtzOperator final : public LinearOperator {
+ public:
+  /// `masked_dofs`: local dof offsets where the solution is prescribed
+  /// (pass the gather-scattered closure — see make_mask below).
+  HelmholtzOperator(const operators::Context& ctx, real_t h1, real_t h2,
+                    std::vector<lidx_t> masked_dofs);
+
+  void apply(const RealVec& u, RealVec& out) override;
+
+  void set_coefficients(real_t h1, real_t h2) {
+    h1_ = h1;
+    h2_ = h2;
+  }
+  real_t h1() const { return h1_; }
+  real_t h2() const { return h2_; }
+  const std::vector<lidx_t>& masked_dofs() const { return masked_dofs_; }
+  const operators::Context& context() const { return ctx_; }
+
+ private:
+  operators::Context ctx_;
+  real_t h1_, h2_;
+  std::vector<lidx_t> masked_dofs_;
+};
+
+/// Build the *closed* Dirichlet mask: local dofs on faces with the given
+/// tags, extended via a gather-scatter-min exchange so nodes shared with
+/// other elements/ranks are masked everywhere.
+std::vector<lidx_t> make_mask(const operators::Context& ctx,
+                              const std::set<mesh::FaceTag>& tags);
+
+/// Zero a field at masked dofs.
+void apply_mask(RealVec& f, const std::vector<lidx_t>& mask);
+
+}  // namespace felis::krylov

@@ -1,0 +1,280 @@
+#include "linalg/decomp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace felis::linalg {
+
+LuFactor::LuFactor(Matrix a) : lu_(std::move(a)) {
+  FELIS_CHECK_MSG(lu_.rows() == lu_.cols(), "LU requires a square matrix");
+  const lidx_t n = lu_.rows();
+  piv_.resize(static_cast<usize>(n));
+  std::iota(piv_.begin(), piv_.end(), 0);
+  for (lidx_t k = 0; k < n; ++k) {
+    // Partial pivoting: find the largest magnitude in column k below row k.
+    lidx_t p = k;
+    real_t pmax = std::abs(lu_(k, k));
+    for (lidx_t i = k + 1; i < n; ++i) {
+      const real_t v = std::abs(lu_(i, k));
+      if (v > pmax) {
+        pmax = v;
+        p = i;
+      }
+    }
+    FELIS_CHECK_MSG(pmax > 0, "LU: matrix is singular at column " << k);
+    if (p != k) {
+      for (lidx_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+      std::swap(piv_[static_cast<usize>(k)], piv_[static_cast<usize>(p)]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const real_t pivot = lu_(k, k);
+    for (lidx_t i = k + 1; i < n; ++i) {
+      const real_t m = lu_(i, k) / pivot;
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      for (lidx_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+    }
+  }
+}
+
+RealVec LuFactor::solve(const RealVec& b) const {
+  const lidx_t n = lu_.rows();
+  FELIS_CHECK(static_cast<lidx_t>(b.size()) == n);
+  RealVec x(static_cast<usize>(n));
+  for (lidx_t i = 0; i < n; ++i)
+    x[static_cast<usize>(i)] = b[static_cast<usize>(piv_[static_cast<usize>(i)])];
+  // Forward substitution with unit lower-triangular L.
+  for (lidx_t i = 1; i < n; ++i) {
+    real_t s = x[static_cast<usize>(i)];
+    for (lidx_t j = 0; j < i; ++j) s -= lu_(i, j) * x[static_cast<usize>(j)];
+    x[static_cast<usize>(i)] = s;
+  }
+  // Backward substitution with U.
+  for (lidx_t i = n - 1; i >= 0; --i) {
+    real_t s = x[static_cast<usize>(i)];
+    for (lidx_t j = i + 1; j < n; ++j) s -= lu_(i, j) * x[static_cast<usize>(j)];
+    x[static_cast<usize>(i)] = s / lu_(i, i);
+  }
+  return x;
+}
+
+Matrix LuFactor::solve(const Matrix& b) const {
+  FELIS_CHECK(b.rows() == lu_.rows());
+  Matrix x(b.rows(), b.cols());
+  for (lidx_t j = 0; j < b.cols(); ++j) {
+    RealVec col(b.col(j), b.col(j) + b.rows());
+    const RealVec sol = solve(col);
+    std::copy(sol.begin(), sol.end(), x.col(j));
+  }
+  return x;
+}
+
+real_t LuFactor::det() const {
+  real_t d = static_cast<real_t>(pivot_sign_);
+  for (lidx_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+CholeskyFactor::CholeskyFactor(const Matrix& a) {
+  FELIS_CHECK_MSG(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const lidx_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (lidx_t j = 0; j < n; ++j) {
+    real_t d = a(j, j);
+    for (lidx_t k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
+    FELIS_CHECK_MSG(d > 0, "Cholesky: matrix not positive definite at " << j);
+    l_(j, j) = std::sqrt(d);
+    for (lidx_t i = j + 1; i < n; ++i) {
+      real_t s = a(i, j);
+      for (lidx_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      l_(i, j) = s / l_(j, j);
+    }
+  }
+}
+
+RealVec CholeskyFactor::forward(const RealVec& b) const {
+  const lidx_t n = l_.rows();
+  FELIS_CHECK(static_cast<lidx_t>(b.size()) == n);
+  RealVec y(b);
+  for (lidx_t i = 0; i < n; ++i) {
+    real_t s = y[static_cast<usize>(i)];
+    for (lidx_t j = 0; j < i; ++j) s -= l_(i, j) * y[static_cast<usize>(j)];
+    y[static_cast<usize>(i)] = s / l_(i, i);
+  }
+  return y;
+}
+
+RealVec CholeskyFactor::backward(const RealVec& b) const {
+  const lidx_t n = l_.rows();
+  FELIS_CHECK(static_cast<lidx_t>(b.size()) == n);
+  RealVec y(b);
+  for (lidx_t i = n - 1; i >= 0; --i) {
+    real_t s = y[static_cast<usize>(i)];
+    for (lidx_t j = i + 1; j < n; ++j) s -= l_(j, i) * y[static_cast<usize>(j)];
+    y[static_cast<usize>(i)] = s / l_(i, i);
+  }
+  return y;
+}
+
+RealVec CholeskyFactor::solve(const RealVec& b) const {
+  return backward(forward(b));
+}
+
+EigenSym eig_sym(Matrix a, real_t tol, int max_sweeps) {
+  FELIS_CHECK_MSG(a.rows() == a.cols(), "eig_sym requires a square matrix");
+  const lidx_t n = a.rows();
+  Matrix v = Matrix::identity(n);
+  const real_t base = std::max(a.norm(), real_t(1e-300));
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    real_t off = 0;
+    for (lidx_t p = 0; p < n; ++p)
+      for (lidx_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    if (std::sqrt(2 * off) <= tol * base) break;
+    for (lidx_t p = 0; p < n - 1; ++p) {
+      for (lidx_t q = p + 1; q < n; ++q) {
+        const real_t apq = a(p, q);
+        if (std::abs(apq) <= tol * base * 1e-3) continue;
+        // Classical Jacobi rotation annihilating a(p,q).
+        const real_t theta = (a(q, q) - a(p, p)) / (2 * apq);
+        const real_t t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(1 + theta * theta));
+        const real_t c = 1 / std::sqrt(1 + t * t);
+        const real_t s = t * c;
+        for (lidx_t k = 0; k < n; ++k) {
+          const real_t akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (lidx_t k = 0; k < n; ++k) {
+          const real_t apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (lidx_t k = 0; k < n; ++k) {
+          const real_t vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  // Sort ascending by eigenvalue.
+  std::vector<lidx_t> order(static_cast<usize>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](lidx_t i, lidx_t j) { return a(i, i) < a(j, j); });
+  EigenSym out;
+  out.values.resize(static_cast<usize>(n));
+  out.vectors = Matrix(n, n);
+  for (lidx_t j = 0; j < n; ++j) {
+    const lidx_t src = order[static_cast<usize>(j)];
+    out.values[static_cast<usize>(j)] = a(src, src);
+    for (lidx_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, src);
+  }
+  return out;
+}
+
+EigenSym eig_sym_generalized(const Matrix& a, const Matrix& b) {
+  FELIS_CHECK(a.rows() == a.cols() && b.rows() == b.cols() && a.rows() == b.rows());
+  const lidx_t n = a.rows();
+  const CholeskyFactor chol(b);
+  // C = L⁻¹ A L⁻ᵀ, computed column-by-column.
+  Matrix c(n, n);
+  for (lidx_t j = 0; j < n; ++j) {
+    // w = L⁻ᵀ e_j  is column j of L⁻ᵀ; instead compute C = L⁻¹ (A L⁻ᵀ):
+    RealVec ej(static_cast<usize>(n), 0.0);
+    ej[static_cast<usize>(j)] = 1.0;
+    const RealVec linv_t_col = chol.backward(ej);       // L⁻ᵀ e_j
+    const RealVec a_col = matvec(a, linv_t_col);        // A L⁻ᵀ e_j
+    const RealVec c_col = chol.forward(a_col);          // L⁻¹ A L⁻ᵀ e_j
+    std::copy(c_col.begin(), c_col.end(), c.col(j));
+  }
+  // Symmetrize to remove roundoff asymmetry before Jacobi.
+  for (lidx_t j = 0; j < n; ++j)
+    for (lidx_t i = j + 1; i < n; ++i) {
+      const real_t m = 0.5 * (c(i, j) + c(j, i));
+      c(i, j) = m;
+      c(j, i) = m;
+    }
+  EigenSym std_eig = eig_sym(std::move(c));
+  // Back-transform eigenvectors: v = L⁻ᵀ y, giving VᵀBV = I.
+  for (lidx_t j = 0; j < n; ++j) {
+    RealVec y(std_eig.vectors.col(j), std_eig.vectors.col(j) + n);
+    const RealVec x = chol.backward(y);
+    std::copy(x.begin(), x.end(), std_eig.vectors.col(j));
+  }
+  return std_eig;
+}
+
+Svd svd(Matrix a, real_t tol, int max_sweeps) {
+  const lidx_t m = a.rows();
+  const lidx_t n = a.cols();
+  FELIS_CHECK_MSG(m >= n,
+                  "one-sided Jacobi SVD requires rows >= cols; transpose first");
+  Matrix v = Matrix::identity(n);
+  // One-sided Jacobi: orthogonalize column pairs of A, accumulating V.
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (lidx_t p = 0; p < n - 1; ++p) {
+      for (lidx_t q = p + 1; q < n; ++q) {
+        real_t app = 0, aqq = 0, apq = 0;
+        const real_t* cp = a.col(p);
+        const real_t* cq = a.col(q);
+        for (lidx_t k = 0; k < m; ++k) {
+          app += cp[k] * cp[k];
+          aqq += cq[k] * cq[k];
+          apq += cp[k] * cq[k];
+        }
+        if (std::abs(apq) <= tol * std::sqrt(app * aqq) || apq == 0.0) continue;
+        converged = false;
+        const real_t theta = (aqq - app) / (2 * apq);
+        const real_t t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(1 + theta * theta));
+        const real_t c = 1 / std::sqrt(1 + t * t);
+        const real_t s = t * c;
+        real_t* wp = a.col(p);
+        real_t* wq = a.col(q);
+        for (lidx_t k = 0; k < m; ++k) {
+          const real_t akp = wp[k], akq = wq[k];
+          wp[k] = c * akp - s * akq;
+          wq[k] = s * akp + c * akq;
+        }
+        for (lidx_t k = 0; k < n; ++k) {
+          const real_t vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+  // Column norms are the singular values.
+  Svd out;
+  out.sigma.resize(static_cast<usize>(n));
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  std::vector<lidx_t> order(static_cast<usize>(n));
+  std::iota(order.begin(), order.end(), 0);
+  RealVec norms(static_cast<usize>(n));
+  for (lidx_t j = 0; j < n; ++j) {
+    real_t s = 0;
+    const real_t* cj = a.col(j);
+    for (lidx_t k = 0; k < m; ++k) s += cj[k] * cj[k];
+    norms[static_cast<usize>(j)] = std::sqrt(s);
+  }
+  std::sort(order.begin(), order.end(), [&](lidx_t i, lidx_t j) {
+    return norms[static_cast<usize>(i)] > norms[static_cast<usize>(j)];
+  });
+  for (lidx_t j = 0; j < n; ++j) {
+    const lidx_t src = order[static_cast<usize>(j)];
+    const real_t sig = norms[static_cast<usize>(src)];
+    out.sigma[static_cast<usize>(j)] = sig;
+    const real_t inv = sig > 0 ? 1.0 / sig : 0.0;
+    for (lidx_t k = 0; k < m; ++k) out.u(k, j) = a(k, src) * inv;
+    for (lidx_t k = 0; k < n; ++k) out.v(k, j) = v(k, src);
+  }
+  return out;
+}
+
+}  // namespace felis::linalg

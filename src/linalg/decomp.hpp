@@ -1,0 +1,76 @@
+/// \file decomp.hpp
+/// \brief Dense decompositions: LU, Cholesky, symmetric Jacobi eigensolver,
+/// generalized symmetric-definite eigensolver, one-sided Jacobi SVD.
+///
+/// These back the fast-diagonalization Schwarz solves (generalized
+/// eigenproblem of 1-D stiffness/mass pairs, Fischer & Lottes [4,5]), the
+/// streaming-POD verification path (SVD), and reference solutions in tests.
+/// Sizes are small (≤ a few hundred), so robustness beats asymptotics:
+/// Jacobi iterations converge to high relative accuracy.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace felis::linalg {
+
+/// LU factorization with partial pivoting; solve A x = b.
+class LuFactor {
+ public:
+  explicit LuFactor(Matrix a);
+
+  /// Solve for a single right-hand side.
+  RealVec solve(const RealVec& b) const;
+  /// Solve for each column of B.
+  Matrix solve(const Matrix& b) const;
+
+  /// Determinant (product of pivots with sign).
+  real_t det() const;
+
+ private:
+  Matrix lu_;
+  std::vector<lidx_t> piv_;
+  int pivot_sign_ = 1;
+};
+
+/// Cholesky factorization A = L Lᵀ of an SPD matrix; throws if not SPD.
+class CholeskyFactor {
+ public:
+  explicit CholeskyFactor(const Matrix& a);
+  RealVec solve(const RealVec& b) const;
+  const Matrix& lower() const { return l_; }
+  /// y = L⁻¹ b (forward substitution only).
+  RealVec forward(const RealVec& b) const;
+  /// y = L⁻ᵀ b (backward substitution only).
+  RealVec backward(const RealVec& b) const;
+
+ private:
+  Matrix l_;
+};
+
+/// Result of a symmetric eigendecomposition A = V diag(λ) Vᵀ,
+/// eigenvalues ascending, eigenvectors in columns of V (orthonormal).
+struct EigenSym {
+  RealVec values;
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix.
+EigenSym eig_sym(Matrix a, real_t tol = 1e-14, int max_sweeps = 60);
+
+/// Generalized symmetric-definite eigenproblem A v = λ B v with B SPD:
+/// reduce via B = L Lᵀ to standard form; returned vectors are B-orthonormal
+/// (VᵀBV = I), as required by the fast diagonalization method.
+EigenSym eig_sym_generalized(const Matrix& a, const Matrix& b);
+
+/// Thin SVD A = U diag(σ) Vᵀ with singular values descending.
+struct Svd {
+  Matrix u;        ///< m×k
+  RealVec sigma;   ///< k, descending, k = min(m,n)
+  Matrix v;        ///< n×k
+};
+
+/// One-sided Jacobi SVD (robust for small/medium matrices, high relative
+/// accuracy for small singular values).
+Svd svd(Matrix a, real_t tol = 1e-14, int max_sweeps = 60);
+
+}  // namespace felis::linalg

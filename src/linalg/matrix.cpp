@@ -1,0 +1,106 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace felis::linalg {
+
+Matrix Matrix::from_rows(
+    std::initializer_list<std::initializer_list<real_t>> rows) {
+  const lidx_t nr = static_cast<lidx_t>(rows.size());
+  FELIS_CHECK(nr > 0);
+  const lidx_t nc = static_cast<lidx_t>(rows.begin()->size());
+  Matrix m(nr, nc);
+  lidx_t i = 0;
+  for (const auto& row : rows) {
+    FELIS_CHECK_MSG(static_cast<lidx_t>(row.size()) == nc,
+                    "ragged initializer in Matrix::from_rows");
+    lidx_t j = 0;
+    for (const real_t v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+Matrix Matrix::identity(lidx_t n) {
+  Matrix m(n, n);
+  for (lidx_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (lidx_t j = 0; j < cols_; ++j)
+    for (lidx_t i = 0; i < rows_; ++i) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+real_t Matrix::norm() const {
+  real_t s = 0;
+  for (const real_t v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  FELIS_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (lidx_t j = 0; j < b.cols(); ++j) {
+    for (lidx_t k = 0; k < a.cols(); ++k) {
+      const real_t bkj = b(k, j);
+      if (bkj == 0.0) continue;
+      for (lidx_t i = 0; i < a.rows(); ++i) c(i, j) += a(i, k) * bkj;
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  FELIS_CHECK(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (lidx_t j = 0; j < b.cols(); ++j) {
+    for (lidx_t i = 0; i < a.cols(); ++i) {
+      real_t s = 0;
+      for (lidx_t k = 0; k < a.rows(); ++k) s += a(k, i) * b(k, j);
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+RealVec matvec(const Matrix& a, const RealVec& x) {
+  FELIS_CHECK(static_cast<lidx_t>(x.size()) == a.cols());
+  RealVec y(static_cast<usize>(a.rows()), 0.0);
+  for (lidx_t j = 0; j < a.cols(); ++j) {
+    const real_t xj = x[static_cast<usize>(j)];
+    const real_t* colj = a.col(j);
+    for (lidx_t i = 0; i < a.rows(); ++i) y[static_cast<usize>(i)] += colj[i] * xj;
+  }
+  return y;
+}
+
+RealVec matvec_t(const Matrix& a, const RealVec& x) {
+  FELIS_CHECK(static_cast<lidx_t>(x.size()) == a.rows());
+  RealVec y(static_cast<usize>(a.cols()), 0.0);
+  for (lidx_t j = 0; j < a.cols(); ++j) {
+    const real_t* colj = a.col(j);
+    real_t s = 0;
+    for (lidx_t i = 0; i < a.rows(); ++i) s += colj[i] * x[static_cast<usize>(i)];
+    y[static_cast<usize>(j)] = s;
+  }
+  return y;
+}
+
+real_t dot(const RealVec& x, const RealVec& y) {
+  FELIS_CHECK(x.size() == y.size());
+  real_t s = 0;
+  for (usize i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+real_t norm2(const RealVec& x) { return std::sqrt(dot(x, x)); }
+
+void axpy(real_t alpha, const RealVec& x, RealVec& y) {
+  FELIS_CHECK(x.size() == y.size());
+  for (usize i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace felis::linalg

@@ -1,0 +1,79 @@
+/// \file matrix.hpp
+/// \brief Small dense column-major matrix type plus BLAS-like helpers.
+///
+/// Dense linear algebra in felis appears only in *small* problems: 1-D
+/// spectral operators ((N+1)×(N+1)), fast-diagonalization setups, coarse-grid
+/// vertex systems in tests, POD Gram matrices. No external BLAS/LAPACK is
+/// used — the decompositions live in decomp.hpp.
+#pragma once
+
+#include <initializer_list>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace felis::linalg {
+
+/// Column-major dense matrix of real_t.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(lidx_t rows, lidx_t cols) : rows_(rows), cols_(cols) {
+    FELIS_CHECK(rows >= 0 && cols >= 0);
+    data_.assign(static_cast<usize>(rows) * static_cast<usize>(cols), 0.0);
+  }
+
+  /// Build from row-major initializer lists (convenient in tests):
+  /// Matrix::from_rows({{1,2},{3,4}}).
+  static Matrix from_rows(
+      std::initializer_list<std::initializer_list<real_t>> rows);
+
+  static Matrix identity(lidx_t n);
+
+  lidx_t rows() const { return rows_; }
+  lidx_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  real_t& operator()(lidx_t i, lidx_t j) {
+    FELIS_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<usize>(j) * static_cast<usize>(rows_) +
+                 static_cast<usize>(i)];
+  }
+  real_t operator()(lidx_t i, lidx_t j) const {
+    FELIS_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<usize>(j) * static_cast<usize>(rows_) +
+                 static_cast<usize>(i)];
+  }
+
+  real_t* data() { return data_.data(); }
+  const real_t* data() const { return data_.data(); }
+  real_t* col(lidx_t j) { return data() + static_cast<usize>(j) * static_cast<usize>(rows_); }
+  const real_t* col(lidx_t j) const {
+    return data() + static_cast<usize>(j) * static_cast<usize>(rows_);
+  }
+
+  Matrix transposed() const;
+
+  /// Frobenius norm.
+  real_t norm() const;
+
+ private:
+  lidx_t rows_ = 0, cols_ = 0;
+  RealVec data_;
+};
+
+/// C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = Aᵀ * B.
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// y = A * x.
+RealVec matvec(const Matrix& a, const RealVec& x);
+/// y = Aᵀ * x.
+RealVec matvec_t(const Matrix& a, const RealVec& x);
+
+real_t dot(const RealVec& x, const RealVec& y);
+real_t norm2(const RealVec& x);
+/// y += alpha * x.
+void axpy(real_t alpha, const RealVec& x, RealVec& y);
+
+}  // namespace felis::linalg

@@ -1,0 +1,284 @@
+#include "mesh/hex_mesh.hpp"
+
+#include <cmath>
+
+namespace felis::mesh {
+
+Point ElementMap::map(real_t r, real_t s, real_t t) const {
+  switch (kind) {
+    case Kind::kTrilinear: {
+      const real_t wr[2] = {0.5 * (1 - r), 0.5 * (1 + r)};
+      const real_t ws[2] = {0.5 * (1 - s), 0.5 * (1 + s)};
+      const real_t wt[2] = {0.5 * (1 - t), 0.5 * (1 + t)};
+      Point p{0, 0, 0};
+      for (int k = 0; k < 2; ++k)
+        for (int j = 0; j < 2; ++j)
+          for (int i = 0; i < 2; ++i) {
+            const real_t w = wr[i] * ws[j] * wt[k];
+            const Point& c = corners[static_cast<usize>(i + 2 * j + 4 * k)];
+            p[0] += w * c[0];
+            p[1] += w * c[1];
+            p[2] += w * c[2];
+          }
+      return p;
+    }
+    case Kind::kDiskRing: {
+      // r → blend fraction f (square boundary → circle), s → in-side
+      // parameter ξ, t → z. This axis order keeps the Jacobian positive
+      // (outward-radial × counter-clockwise-tangent × ẑ).
+      const real_t f = 0.5 * ((1 - r) * f0 + (1 + r) * f1);
+      const real_t xi = 0.5 * ((1 - s) * xi0 + (1 + s) * xi1);
+      const real_t z = 0.5 * ((1 - t) * z0 + (1 + t) * z1);
+      const real_t a = half;
+      // Square-boundary point q(ξ) walking counter-clockwise along `side`.
+      real_t qx = 0, qy = 0;
+      switch (side) {
+        case 0: qx = a; qy = -a + 2 * a * xi; break;
+        case 1: qx = a - 2 * a * xi; qy = a; break;
+        case 2: qx = -a; qy = a - 2 * a * xi; break;
+        case 3: qx = -a + 2 * a * xi; qy = -a; break;
+        default: throw Error("ElementMap: invalid ring side");
+      }
+      // Circle point at the matching angle.
+      const real_t theta = -0.25 * M_PI + (side + xi) * 0.5 * M_PI;
+      const real_t cx = radius * std::cos(theta);
+      const real_t cy = radius * std::sin(theta);
+      return {(1 - f) * qx + f * cx, (1 - f) * qy + f * cy, z};
+    }
+  }
+  throw Error("ElementMap::map: unknown mapping kind");
+}
+
+std::array<int, 4> face_corners(int face) {
+  // Corner index = i + 2j + 4k. Faces keep the remaining two axes in
+  // lexicographic order as their local (p,q) frame.
+  switch (face) {
+    case 0: return {0, 2, 4, 6};  // r=-1, frame (s,t)
+    case 1: return {1, 3, 5, 7};  // r=+1, frame (s,t)
+    case 2: return {0, 1, 4, 5};  // s=-1, frame (r,t)
+    case 3: return {2, 3, 6, 7};  // s=+1, frame (r,t)
+    case 4: return {0, 1, 2, 3};  // t=-1, frame (r,s)
+    case 5: return {4, 5, 6, 7};  // t=+1, frame (r,s)
+    default: throw Error("face_corners: face index out of range");
+  }
+}
+
+lidx_t HexMesh::add_element(const std::array<gidx_t, 8>& vertices,
+                            const ElementMap& map,
+                            const std::array<FaceTag, 6>& tags) {
+  elements_.push_back(vertices);
+  maps_.push_back(map);
+  face_tags_.push_back(tags);
+  return static_cast<lidx_t>(elements_.size()) - 1;
+}
+
+RealVec grid_points(int n, real_t a, real_t b, Grading grading,
+                    real_t geometric_ratio) {
+  FELIS_CHECK(n >= 1 && b > a);
+  RealVec pts(static_cast<usize>(n) + 1);
+  switch (grading) {
+    case Grading::kUniform:
+      for (int i = 0; i <= n; ++i)
+        pts[static_cast<usize>(i)] = a + (b - a) * i / n;
+      break;
+    case Grading::kChebyshev:
+      // Cosine clustering toward both ends — the classic wall-refined
+      // distribution for boundary layers at the plates/side wall.
+      for (int i = 0; i <= n; ++i) {
+        const real_t xi = 0.5 * (1.0 - std::cos(M_PI * i / n));
+        pts[static_cast<usize>(i)] = a + (b - a) * xi;
+      }
+      break;
+    case Grading::kGeometric: {
+      // Symmetric geometric clustering: spacings grow by `geometric_ratio`
+      // from both ends toward the middle.
+      FELIS_CHECK(geometric_ratio > 0);
+      RealVec spacing(static_cast<usize>(n));
+      for (int i = 0; i < n; ++i) {
+        const int d = std::min(i, n - 1 - i);
+        spacing[static_cast<usize>(i)] = std::pow(geometric_ratio, d);
+      }
+      real_t total = 0;
+      for (const real_t h : spacing) total += h;
+      pts[0] = a;
+      for (int i = 0; i < n; ++i)
+        pts[static_cast<usize>(i) + 1] =
+            pts[static_cast<usize>(i)] + (b - a) * spacing[static_cast<usize>(i)] / total;
+      pts[static_cast<usize>(n)] = b;  // exact endpoint despite roundoff
+      break;
+    }
+  }
+  return pts;
+}
+
+HexMesh make_box_mesh(const BoxMeshConfig& config) {
+  const int nx = config.nx, ny = config.ny, nz = config.nz;
+  FELIS_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  FELIS_CHECK_MSG(!config.periodic_x || nx >= 3,
+                  "periodic x requires at least 3 elements");
+  FELIS_CHECK_MSG(!config.periodic_y || ny >= 3,
+                  "periodic y requires at least 3 elements");
+  FELIS_CHECK_MSG(!config.periodic_z || nz >= 3,
+                  "periodic z requires at least 3 elements");
+
+  const RealVec xs = grid_points(nx, 0, config.lx, Grading::kUniform);
+  const RealVec ys = grid_points(ny, 0, config.ly, Grading::kUniform);
+  const RealVec zs = grid_points(nz, 0, config.lz, config.grading_z);
+
+  // Vertex grid with periodic identification: index wraps in periodic dirs.
+  const int vx = config.periodic_x ? nx : nx + 1;
+  const int vy = config.periodic_y ? ny : ny + 1;
+  const int vz = config.periodic_z ? nz : nz + 1;
+  const auto vid = [&](int i, int j, int k) -> gidx_t {
+    const int ii = config.periodic_x ? (i % nx) : i;
+    const int jj = config.periodic_y ? (j % ny) : j;
+    const int kk = config.periodic_z ? (k % nz) : k;
+    return static_cast<gidx_t>(ii) +
+           static_cast<gidx_t>(vx) *
+               (static_cast<gidx_t>(jj) + static_cast<gidx_t>(vy) * kk);
+  };
+
+  HexMesh mesh;
+  mesh.set_num_vertices(static_cast<gidx_t>(vx) * vy * vz);
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        std::array<gidx_t, 8> verts{};
+        ElementMap map;
+        map.kind = ElementMap::Kind::kTrilinear;
+        for (int c = 0; c < 8; ++c) {
+          const int ci = i + (c & 1);
+          const int cj = j + ((c >> 1) & 1);
+          const int ck = k + ((c >> 2) & 1);
+          verts[static_cast<usize>(c)] = vid(ci, cj, ck);
+          map.corners[static_cast<usize>(c)] = {xs[static_cast<usize>(ci)],
+                                                ys[static_cast<usize>(cj)],
+                                                zs[static_cast<usize>(ck)]};
+        }
+        std::array<FaceTag, 6> tags{};
+        tags[0] = (i == 0) ? (config.periodic_x ? FaceTag::kPeriodic : config.tag_xlo)
+                           : FaceTag::kInterior;
+        tags[1] = (i == nx - 1)
+                      ? (config.periodic_x ? FaceTag::kPeriodic : config.tag_xhi)
+                      : FaceTag::kInterior;
+        tags[2] = (j == 0) ? (config.periodic_y ? FaceTag::kPeriodic : config.tag_ylo)
+                           : FaceTag::kInterior;
+        tags[3] = (j == ny - 1)
+                      ? (config.periodic_y ? FaceTag::kPeriodic : config.tag_yhi)
+                      : FaceTag::kInterior;
+        tags[4] = (k == 0) ? (config.periodic_z ? FaceTag::kPeriodic : config.tag_zlo)
+                           : FaceTag::kInterior;
+        tags[5] = (k == nz - 1)
+                      ? (config.periodic_z ? FaceTag::kPeriodic : config.tag_zhi)
+                      : FaceTag::kInterior;
+        mesh.add_element(verts, map, tags);
+      }
+    }
+  }
+  return mesh;
+}
+
+HexMesh make_cylinder_mesh(const CylinderMeshConfig& config) {
+  const int nc = config.nc, nr = config.nr, nz = config.nz;
+  FELIS_CHECK(nc >= 1 && nr >= 1 && nz >= 1);
+  FELIS_CHECK(config.radius > 0 && config.height > 0);
+  FELIS_CHECK(config.core_fraction > 0.1 && config.core_fraction < 0.9);
+
+  const real_t a = config.core_fraction * config.radius;  // square half-width
+  const RealVec zs = grid_points(nz, 0.0, config.height, config.grading_z);
+  // Blend fractions of the ring layers (f=0 square boundary, f=1 wall),
+  // clustered by the requested grading for side-wall boundary layers.
+  const RealVec fs = grid_points(nr, 0.0, 1.0, config.grading_r);
+
+  // Vertex layout per z-level: the (nc+1)² central grid followed by 4·nc
+  // perimeter vertices for each ring layer 1..nr.
+  const gidx_t level_stride =
+      static_cast<gidx_t>(nc + 1) * (nc + 1) + static_cast<gidx_t>(4 * nc) * nr;
+  const auto center_vid = [&](int i, int j, int kz) -> gidx_t {
+    return static_cast<gidx_t>(i) + static_cast<gidx_t>(nc + 1) * j +
+           level_stride * kz;
+  };
+  // Perimeter position k ∈ [0, 4nc) at ring layer l ∈ [0, nr]; layer 0
+  // coincides with the central square's boundary vertices.
+  const auto perim_vid = [&](int k, int l, int kz) -> gidx_t {
+    k = ((k % (4 * nc)) + 4 * nc) % (4 * nc);
+    if (l == 0) {
+      const int s = k / nc, i = k % nc;
+      switch (s) {
+        case 0: return center_vid(nc, i, kz);
+        case 1: return center_vid(nc - i, nc, kz);
+        case 2: return center_vid(0, nc - i, kz);
+        default: return center_vid(i, 0, kz);
+      }
+    }
+    return static_cast<gidx_t>(nc + 1) * (nc + 1) +
+           static_cast<gidx_t>(4 * nc) * (l - 1) + k + level_stride * kz;
+  };
+
+  HexMesh mesh;
+  mesh.set_num_vertices(level_stride * (nz + 1));
+
+  for (int kz = 0; kz < nz; ++kz) {
+    const real_t z0 = zs[static_cast<usize>(kz)];
+    const real_t z1 = zs[static_cast<usize>(kz) + 1];
+    const std::array<FaceTag, 2> ztags = {
+        kz == 0 ? FaceTag::kBottom : FaceTag::kInterior,
+        kz == nz - 1 ? FaceTag::kTop : FaceTag::kInterior};
+
+    // Central square block: straight (trilinear) elements on a uniform grid.
+    for (int j = 0; j < nc; ++j) {
+      for (int i = 0; i < nc; ++i) {
+        std::array<gidx_t, 8> verts{};
+        ElementMap map;
+        map.kind = ElementMap::Kind::kTrilinear;
+        for (int c = 0; c < 8; ++c) {
+          const int ci = i + (c & 1), cj = j + ((c >> 1) & 1),
+                    ck = kz + ((c >> 2) & 1);
+          verts[static_cast<usize>(c)] = center_vid(ci, cj, ck);
+          map.corners[static_cast<usize>(c)] = {
+              a * (2.0 * ci / nc - 1.0), a * (2.0 * cj / nc - 1.0),
+              zs[static_cast<usize>(ck)]};
+        }
+        std::array<FaceTag, 6> tags{};
+        tags[4] = ztags[0];
+        tags[5] = ztags[1];
+        mesh.add_element(verts, map, tags);
+      }
+    }
+
+    // Ring sectors: blend between the square boundary and circular arcs.
+    for (int l = 0; l < nr; ++l) {
+      for (int k = 0; k < 4 * nc; ++k) {
+        const int side = k / nc;
+        const int i = k % nc;
+        std::array<gidx_t, 8> verts{};
+        // Corner order: bit0 → blend direction (f), bit1 → ξ direction.
+        for (int c = 0; c < 8; ++c) {
+          const int lf = l + (c & 1);
+          const int kk = k + ((c >> 1) & 1);
+          const int ck = kz + ((c >> 2) & 1);
+          verts[static_cast<usize>(c)] = perim_vid(kk, lf, ck);
+        }
+        ElementMap map;
+        map.kind = ElementMap::Kind::kDiskRing;
+        map.side = side;
+        map.half = a;
+        map.radius = config.radius;
+        map.xi0 = static_cast<real_t>(i) / nc;
+        map.xi1 = static_cast<real_t>(i + 1) / nc;
+        map.f0 = fs[static_cast<usize>(l)];
+        map.f1 = fs[static_cast<usize>(l) + 1];
+        map.z0 = z0;
+        map.z1 = z1;
+        std::array<FaceTag, 6> tags{};
+        tags[1] = (l == nr - 1) ? FaceTag::kSide : FaceTag::kInterior;
+        tags[4] = ztags[0];
+        tags[5] = ztags[1];
+        mesh.add_element(verts, map, tags);
+      }
+    }
+  }
+  return mesh;
+}
+
+}  // namespace felis::mesh

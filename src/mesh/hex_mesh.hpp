@@ -1,0 +1,154 @@
+/// \file hex_mesh.hpp
+/// \brief Conforming hexahedral meshes with analytic element mappings.
+///
+/// The paper's RBC runs use a carefully designed mesh of a cylindrical cell
+/// (108M elements at production scale) with near-wall refinement at the
+/// plates and the side wall (§6). felis provides two generators:
+///
+///  * `make_box_mesh`      — structured brick mesh of an axis-aligned box with
+///    per-direction grading and optional periodicity (used for validation
+///    cases: Taylor–Green decay, RBC onset in a periodic slab);
+///  * `make_cylinder_mesh` — cylindrical cell of radius R and height H with a
+///    classic o-grid disk: a straight central square block surrounded by ring
+///    layers whose elements blend analytically between the square boundary
+///    and circular arcs (felis' equivalent of Nek-style Gordon–Hall curved
+///    side walls). Neighbouring curved elements evaluate shared edges at
+///    identical parameters, so the geometry is exactly conforming, and the
+///    blend Jacobian is nonsingular everywhere (a global square→disk map
+///    would degenerate at the square's corners).
+///
+/// Element-local node coordinates are *generated on demand* from per-element
+/// `ElementMap` data; the mesh never stores per-GLL-node coordinates.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace felis::mesh {
+
+/// Boundary condition tags attached to element faces.
+enum class FaceTag : int {
+  kInterior = 0,
+  kWall = 1,        ///< no-slip wall (generic)
+  kBottom = 2,      ///< heated plate z = 0
+  kTop = 3,         ///< cooled plate z = H
+  kSide = 4,        ///< cylinder side wall / box lateral wall
+  kPeriodic = 5,    ///< periodically identified (no BC applied)
+};
+
+/// 3-vector of coordinates.
+using Point = std::array<real_t, 3>;
+
+/// Analytic mapping from the reference cube [-1,1]³ to one element.
+struct ElementMap {
+  enum class Kind { kTrilinear, kDiskRing };
+  Kind kind = Kind::kTrilinear;
+
+  /// kTrilinear: physical corner coordinates in lexicographic order
+  /// (i fastest): index = i + 2j + 4k for (i,j,k) ∈ {0,1}³.
+  std::array<Point, 8> corners{};
+
+  /// kDiskRing: one o-grid ring sector. The element covers [xi0,xi1] along
+  /// `side` of the central square (counter-clockwise parameter ξ ∈ [0,1] per
+  /// side), blend fractions [f0,f1] between the square boundary (f=0) and
+  /// the circle of the given radius (f=1), and [z0,z1] in height. `half` is
+  /// the central square's half-width.
+  int side = 0;
+  real_t xi0 = 0, xi1 = 0, f0 = 0, f1 = 0, z0 = 0, z1 = 0;
+  real_t radius = 1, half = 0.5;
+
+  /// Map reference coordinates (r,s,t) ∈ [-1,1]³ to physical space.
+  Point map(real_t r, real_t s, real_t t) const;
+};
+
+/// Local face numbering on the reference cube (lexicographic local axes):
+/// face 0: r=-1, 1: r=+1, 2: s=-1, 3: s=+1, 4: t=-1, 5: t=+1.
+inline constexpr int kFacesPerElement = 6;
+
+/// Vertex ids (into the element's 8 corners) of each face, ordered so that
+/// the face's own 2-D lexicographic frame is (first varying axis, second
+/// varying axis): entries are {c00, c10, c01, c11}.
+std::array<int, 4> face_corners(int face);
+
+/// A conforming hexahedral mesh. Vertex ids are global and shared between
+/// elements; periodic identification is expressed by elements referencing
+/// the same vertex ids across the periodic boundary (geometry stays
+/// per-element via ElementMap, so coordinates remain correct).
+class HexMesh {
+ public:
+  /// Number of elements.
+  lidx_t num_elements() const { return static_cast<lidx_t>(elements_.size()); }
+  /// Number of distinct vertices (after periodic identification).
+  gidx_t num_vertices() const { return num_vertices_; }
+
+  const std::array<gidx_t, 8>& element_vertices(lidx_t e) const {
+    return elements_[static_cast<usize>(e)];
+  }
+  const ElementMap& element_map(lidx_t e) const { return maps_[static_cast<usize>(e)]; }
+  FaceTag face_tag(lidx_t e, int face) const {
+    return face_tags_[static_cast<usize>(e)][static_cast<usize>(face)];
+  }
+
+  /// Element centroid (reference-cube origin mapped to physical space).
+  Point centroid(lidx_t e) const { return element_map(e).map(0, 0, 0); }
+
+  /// Mesh construction API (used by generators and tests).
+  lidx_t add_element(const std::array<gidx_t, 8>& vertices, const ElementMap& map,
+                     const std::array<FaceTag, 6>& tags);
+  void set_num_vertices(gidx_t n) { num_vertices_ = n; }
+
+ private:
+  std::vector<std::array<gidx_t, 8>> elements_;
+  std::vector<ElementMap> maps_;
+  std::vector<std::array<FaceTag, 6>> face_tags_;
+  gidx_t num_vertices_ = 0;
+};
+
+/// 1-D grid point distributions used for element boundaries.
+enum class Grading {
+  kUniform,
+  kChebyshev,   ///< clustered toward both ends (wall refinement at plates)
+  kGeometric,   ///< clustered toward both ends with a fixed ratio
+};
+
+/// n+1 points spanning [a,b] for n elements with the requested grading.
+RealVec grid_points(int n, real_t a, real_t b, Grading grading,
+                    real_t geometric_ratio = 1.3);
+
+struct BoxMeshConfig {
+  int nx = 4, ny = 4, nz = 4;
+  real_t lx = 1, ly = 1, lz = 1;
+  bool periodic_x = false, periodic_y = false, periodic_z = false;
+  Grading grading_z = Grading::kUniform;
+  /// Tags used for non-periodic boundaries.
+  FaceTag tag_xlo = FaceTag::kSide, tag_xhi = FaceTag::kSide;
+  FaceTag tag_ylo = FaceTag::kSide, tag_yhi = FaceTag::kSide;
+  FaceTag tag_zlo = FaceTag::kBottom, tag_zhi = FaceTag::kTop;
+};
+
+/// Structured brick mesh of [0,lx]×[0,ly]×[0,lz]. Periodic directions
+/// require at least 3 elements (so that topological face keys stay unique).
+HexMesh make_box_mesh(const BoxMeshConfig& config);
+
+struct CylinderMeshConfig {
+  int nc = 2;             ///< central-square elements per side
+  int nr = 2;             ///< o-grid ring layers
+  int nz = 8;             ///< element layers in z
+  real_t radius = 0.5;    ///< cylinder radius (paper: Γ = D/H, slender 1:10)
+  real_t height = 1.0;    ///< cylinder height (non-dimensional H = 1)
+  /// Central square half-width as a fraction of the radius.
+  real_t core_fraction = 0.5;
+  Grading grading_z = Grading::kChebyshev;   ///< plate refinement
+  Grading grading_r = Grading::kGeometric;   ///< side-wall ring refinement
+
+  /// Disk elements per z-layer: nc² + 4·nc·nr.
+  int disk_elements() const { return nc * nc + 4 * nc * nr; }
+};
+
+/// Cylindrical RBC cell; bottom tagged kBottom, top kTop, side wall kSide.
+HexMesh make_cylinder_mesh(const CylinderMeshConfig& config);
+
+}  // namespace felis::mesh

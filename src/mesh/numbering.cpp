@@ -1,0 +1,140 @@
+#include "mesh/numbering.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace felis::mesh {
+
+namespace {
+
+using Key = std::array<gidx_t, 6>;
+
+struct KeyHash {
+  usize operator()(const Key& k) const {
+    // FNV-1a style combine; keys are small and well distributed.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const gidx_t v : k) {
+      h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return static_cast<usize>(h);
+  }
+};
+
+/// In-face frame axes (p,q) for each face (remaining axes, lexicographic).
+constexpr std::array<std::array<int, 2>, 6> kFaceFrame = {{
+    {1, 2}, {1, 2}, {0, 2}, {0, 2}, {0, 1}, {0, 1},
+}};
+
+}  // namespace
+
+GlobalNumbering build_numbering(const HexMesh& mesh, int degree) {
+  FELIS_CHECK_MSG(degree >= 1, "numbering requires degree >= 1");
+  const int N = degree;
+  const int n = N + 1;
+  const lidx_t npe = static_cast<lidx_t>(n) * n * n;
+
+  GlobalNumbering numbering;
+  numbering.degree = degree;
+  numbering.node_ids.assign(
+      static_cast<usize>(mesh.num_elements()) * static_cast<usize>(npe), -1);
+
+  std::unordered_map<Key, gidx_t, KeyHash> ids;
+  ids.reserve(static_cast<usize>(mesh.num_elements()) * 16);
+  gidx_t next_id = 0;
+  const auto get_id = [&](const Key& key) -> gidx_t {
+    const auto [it, inserted] = ids.try_emplace(key, next_id);
+    if (inserted) ++next_id;
+    return it->second;
+  };
+
+  for (lidx_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto& verts = mesh.element_vertices(e);
+    const usize base = static_cast<usize>(e) * static_cast<usize>(npe);
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i) {
+          const int idx[3] = {i, j, k};
+          const bool extreme[3] = {i == 0 || i == N, j == 0 || j == N,
+                                   k == 0 || k == N};
+          const int num_extreme = extreme[0] + extreme[1] + extreme[2];
+          gidx_t id;
+          if (num_extreme == 3) {
+            // Vertex node.
+            const int c = (i > 0 ? 1 : 0) + 2 * (j > 0 ? 1 : 0) + 4 * (k > 0 ? 1 : 0);
+            id = get_id({0, verts[static_cast<usize>(c)], 0, 0, 0, 0});
+          } else if (num_extreme == 2) {
+            // Edge node: find the varying axis.
+            int axis = 0;
+            while (extreme[axis]) ++axis;
+            // Corner index bits for the two fixed axes come from idx; the
+            // varying axis contributes 0 for endpoint a, 1 for endpoint b.
+            int bits_fixed = 0;
+            if (0 != axis && idx[0] > 0) bits_fixed |= 1;
+            if (1 != axis && idx[1] > 0) bits_fixed |= 2;
+            if (2 != axis && idx[2] > 0) bits_fixed |= 4;
+            const int axis_bit = 1 << axis;
+            const gidx_t ga = verts[static_cast<usize>(bits_fixed)];
+            const gidx_t gb = verts[static_cast<usize>(bits_fixed | axis_bit)];
+            FELIS_CHECK_MSG(ga != gb,
+                            "degenerate edge (periodic direction too small?)");
+            const int step = idx[axis];
+            if (ga < gb)
+              id = get_id({1, ga, gb, step, 0, 0});
+            else
+              id = get_id({1, gb, ga, N - step, 0, 0});
+          } else if (num_extreme == 1) {
+            // Face node: identify the face and the in-face coordinates.
+            int axis = 0;
+            while (!extreme[axis]) ++axis;
+            const int face = 2 * axis + (idx[axis] > 0 ? 1 : 0);
+            const auto fc = face_corners(face);
+            const gidx_t g00 = verts[static_cast<usize>(fc[0])];
+            const gidx_t g10 = verts[static_cast<usize>(fc[1])];
+            const gidx_t g01 = verts[static_cast<usize>(fc[2])];
+            const gidx_t g11 = verts[static_cast<usize>(fc[3])];
+            const int p = idx[kFaceFrame[static_cast<usize>(face)][0]];
+            const int q = idx[kFaceFrame[static_cast<usize>(face)][1]];
+            // Locate the smallest-id corner and measure steps from it.
+            const gidx_t gs[4] = {g00, g10, g01, g11};
+            const int pa[4] = {0, N, 0, N};  // p of corners 00,10,01,11
+            const int qa[4] = {0, 0, N, N};
+            int m = 0;
+            for (int c = 1; c < 4; ++c)
+              if (gs[c] < gs[m]) m = c;
+            const int alpha_raw = std::abs(p - pa[m]);
+            const int beta_raw = std::abs(q - qa[m]);
+            // Adjacent corners of m along p and along q.
+            const int adj_p = m ^ 1;  // flip p-bit (corner order 00,10,01,11)
+            const int adj_q = m ^ 2;  // flip q-bit
+            const gidx_t gp = gs[adj_p];
+            const gidx_t gq = gs[adj_q];
+            FELIS_CHECK_MSG(gp != gq && gs[m] != gp && gs[m] != gq,
+                            "degenerate face (periodic direction too small?)");
+            gidx_t first = gp, second = gq;
+            int alpha = alpha_raw, beta = beta_raw;
+            if (gq < gp) {
+              first = gq;
+              second = gp;
+              alpha = beta_raw;
+              beta = alpha_raw;
+            }
+            // Include the diagonal corner too so the key pins all 4 vertices.
+            const gidx_t diag = gs[m ^ 3];
+            id = get_id({2, gs[m], first, second, diag,
+                         static_cast<gidx_t>(alpha) * (N + 1) + beta});
+          } else {
+            // Interior node: always a fresh id.
+            id = next_id++;
+          }
+          numbering.node_ids[base + static_cast<usize>(i + n * (j + n * k))] = id;
+        }
+      }
+    }
+  }
+  numbering.num_global_nodes = next_id;
+  return numbering;
+}
+
+}  // namespace felis::mesh

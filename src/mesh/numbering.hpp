@@ -1,0 +1,50 @@
+/// \file numbering.hpp
+/// \brief Global numbering of GLL nodes on a conforming hex mesh.
+///
+/// The continuity of the spectral-element function space is encoded by
+/// assigning one global id to every distinct GLL node; nodes on shared
+/// vertices/edges/faces of neighbouring elements receive the same id. The
+/// gather–scatter operator (gs/) is built purely from these ids.
+///
+/// The numbering is *topological* (derived from vertex ids, never from
+/// coordinates), so periodic meshes — where coincident ids represent
+/// physically distant points — work unchanged.
+///
+/// Identification rules for a node (i,j,k) of element e, n = N+1 nodes/dir:
+///  * corner  → id keyed by the global vertex id;
+///  * edge    → keyed by the edge's (min,max) vertex ids and the node's step
+///              distance from the smaller-id endpoint (GLL points are
+///              symmetric, so the step count is orientation-independent);
+///  * face    → keyed by the face's smallest-id corner m, its two adjacent
+///              corners ordered by id, and the node's step distances from m
+///              along those two edges;
+///  * interior→ a fresh id per element (never shared).
+#pragma once
+
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+
+namespace felis::mesh {
+
+struct GlobalNumbering {
+  int degree = 0;                 ///< polynomial degree N
+  gidx_t num_global_nodes = 0;    ///< number of distinct GLL nodes
+  /// node_ids[e * (N+1)³ + (i + n*(j + n*k))] = global id.
+  std::vector<gidx_t> node_ids;
+
+  lidx_t nodes_per_element() const {
+    const lidx_t n = degree + 1;
+    return n * n * n;
+  }
+  gidx_t id(lidx_t e, int i, int j, int k) const {
+    const lidx_t n = degree + 1;
+    return node_ids[static_cast<usize>(e) * static_cast<usize>(n * n * n) +
+                    static_cast<usize>(i + n * (j + n * k))];
+  }
+};
+
+/// Build the numbering for polynomial degree N (N >= 1).
+GlobalNumbering build_numbering(const HexMesh& mesh, int degree);
+
+}  // namespace felis::mesh

@@ -1,0 +1,108 @@
+#include "mesh/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace felis::mesh {
+
+namespace {
+
+/// Recursively split `elems` (indices into centroids) into `nparts` balanced
+/// parts by the coordinate with the largest extent.
+void rcb_split(const std::vector<Point>& centroids, std::vector<lidx_t>& elems,
+               usize begin, usize end, int part_begin, int nparts,
+               std::vector<int>& rank_of) {
+  if (nparts == 1) {
+    for (usize i = begin; i < end; ++i)
+      rank_of[static_cast<usize>(elems[i])] = part_begin;
+    return;
+  }
+  // Pick the axis with the largest centroid extent in this subset.
+  Point lo = centroids[static_cast<usize>(elems[begin])];
+  Point hi = lo;
+  for (usize i = begin; i < end; ++i) {
+    const Point& c = centroids[static_cast<usize>(elems[i])];
+    for (int d = 0; d < kDim; ++d) {
+      lo[static_cast<usize>(d)] = std::min(lo[static_cast<usize>(d)], c[static_cast<usize>(d)]);
+      hi[static_cast<usize>(d)] = std::max(hi[static_cast<usize>(d)], c[static_cast<usize>(d)]);
+    }
+  }
+  int axis = 0;
+  for (int d = 1; d < kDim; ++d)
+    if (hi[static_cast<usize>(d)] - lo[static_cast<usize>(d)] >
+        hi[static_cast<usize>(axis)] - lo[static_cast<usize>(axis)])
+      axis = d;
+
+  // Split element counts proportionally to sub-part counts.
+  const int left_parts = nparts / 2;
+  const int right_parts = nparts - left_parts;
+  const usize count = end - begin;
+  const usize left_count = count * static_cast<usize>(left_parts) / static_cast<usize>(nparts);
+  const auto mid = elems.begin() + static_cast<std::ptrdiff_t>(begin + left_count);
+  std::nth_element(elems.begin() + static_cast<std::ptrdiff_t>(begin), mid,
+                   elems.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](lidx_t a, lidx_t b) {
+                     return centroids[static_cast<usize>(a)][static_cast<usize>(axis)] <
+                            centroids[static_cast<usize>(b)][static_cast<usize>(axis)];
+                   });
+  rcb_split(centroids, elems, begin, begin + left_count, part_begin, left_parts,
+            rank_of);
+  rcb_split(centroids, elems, begin + left_count, end, part_begin + left_parts,
+            right_parts, rank_of);
+}
+
+}  // namespace
+
+std::vector<int> partition_rcb(const HexMesh& mesh, int nranks) {
+  FELIS_CHECK(nranks >= 1);
+  FELIS_CHECK_MSG(mesh.num_elements() >= nranks,
+                  "fewer elements than ranks: " << mesh.num_elements() << " < "
+                                                << nranks);
+  std::vector<Point> centroids(static_cast<usize>(mesh.num_elements()));
+  for (lidx_t e = 0; e < mesh.num_elements(); ++e)
+    centroids[static_cast<usize>(e)] = mesh.centroid(e);
+  std::vector<lidx_t> elems(static_cast<usize>(mesh.num_elements()));
+  std::iota(elems.begin(), elems.end(), 0);
+  std::vector<int> rank_of(static_cast<usize>(mesh.num_elements()), -1);
+  rcb_split(centroids, elems, 0, elems.size(), 0, nranks, rank_of);
+  return rank_of;
+}
+
+std::vector<LocalMesh> split_mesh(const HexMesh& mesh,
+                                  const GlobalNumbering& numbering,
+                                  const std::vector<int>& element_rank,
+                                  int nranks) {
+  FELIS_CHECK(static_cast<lidx_t>(element_rank.size()) == mesh.num_elements());
+  std::vector<LocalMesh> locals(static_cast<usize>(nranks));
+  for (auto& lm : locals) {
+    lm.degree = numbering.degree;
+    lm.num_global_nodes = numbering.num_global_nodes;
+  }
+  const lidx_t npe = numbering.nodes_per_element();
+  for (lidx_t e = 0; e < mesh.num_elements(); ++e) {
+    const int r = element_rank[static_cast<usize>(e)];
+    FELIS_CHECK(r >= 0 && r < nranks);
+    LocalMesh& lm = locals[static_cast<usize>(r)];
+    lm.element_gids.push_back(e);
+    lm.maps.push_back(mesh.element_map(e));
+    lm.element_vertices.push_back(mesh.element_vertices(e));
+    std::array<FaceTag, 6> tags{};
+    for (int f = 0; f < kFacesPerElement; ++f) tags[static_cast<usize>(f)] = mesh.face_tag(e, f);
+    lm.face_tags.push_back(tags);
+    const auto* src =
+        numbering.node_ids.data() + static_cast<usize>(e) * static_cast<usize>(npe);
+    lm.node_ids.insert(lm.node_ids.end(), src, src + npe);
+  }
+  for (const auto& lm : locals)
+    FELIS_CHECK_MSG(lm.num_elements() > 0, "empty rank in partition");
+  return locals;
+}
+
+std::vector<LocalMesh> distribute_mesh(const HexMesh& mesh, int degree,
+                                       int nranks) {
+  const GlobalNumbering numbering = build_numbering(mesh, degree);
+  const std::vector<int> ranks = partition_rcb(mesh, nranks);
+  return split_mesh(mesh, numbering, ranks, nranks);
+}
+
+}  // namespace felis::mesh

@@ -1,0 +1,58 @@
+/// \file partition.hpp
+/// \brief Element partitioning across ranks and per-rank local meshes.
+///
+/// Neko distributes one MPI rank per logical GPU (§6); felis mirrors this
+/// with a recursive-coordinate-bisection (RCB) partitioner over element
+/// centroids and a `LocalMesh` holding one rank's elements together with the
+/// global GLL node ids the gather–scatter needs.
+///
+/// The global numbering is built serially and scattered (a production code
+/// numbers in parallel; the result — and everything downstream — is
+/// identical, see DESIGN.md §1).
+#pragma once
+
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+#include "mesh/numbering.hpp"
+
+namespace felis::mesh {
+
+/// rank[e] for every element; ranks are balanced to ±1 element.
+std::vector<int> partition_rcb(const HexMesh& mesh, int nranks);
+
+/// One rank's portion of the mesh: self-contained copies of element data
+/// (maps, tags, vertex ids) plus the global node ids of its GLL nodes.
+struct LocalMesh {
+  int degree = 0;
+  gidx_t num_global_nodes = 0;  ///< global count (same on all ranks)
+  std::vector<gidx_t> element_gids;              ///< global element ids
+  std::vector<ElementMap> maps;
+  std::vector<std::array<FaceTag, 6>> face_tags;
+  std::vector<std::array<gidx_t, 8>> element_vertices;
+  std::vector<gidx_t> node_ids;  ///< per local element × (N+1)³
+
+  lidx_t num_elements() const { return static_cast<lidx_t>(maps.size()); }
+  lidx_t nodes_per_element() const {
+    const lidx_t n = degree + 1;
+    return n * n * n;
+  }
+  lidx_t num_local_dofs() const { return num_elements() * nodes_per_element(); }
+
+  gidx_t node_id(lidx_t e, lidx_t local) const {
+    return node_ids[static_cast<usize>(e) * static_cast<usize>(nodes_per_element()) +
+                    static_cast<usize>(local)];
+  }
+};
+
+/// Extract rank-local meshes given a partition assignment.
+std::vector<LocalMesh> split_mesh(const HexMesh& mesh,
+                                  const GlobalNumbering& numbering,
+                                  const std::vector<int>& element_rank,
+                                  int nranks);
+
+/// Convenience: build numbering, partition with RCB and split.
+std::vector<LocalMesh> distribute_mesh(const HexMesh& mesh, int degree,
+                                       int nranks);
+
+}  // namespace felis::mesh

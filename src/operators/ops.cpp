@@ -1,0 +1,365 @@
+#include "operators/ops.hpp"
+
+#include <cmath>
+
+namespace felis::operators {
+
+real_t glsc3(const Context& ctx, const RealVec& x, const RealVec& y,
+             const RealVec& w) {
+  FELIS_CHECK(x.size() == y.size() && x.size() == w.size());
+  real_t s = 0;
+  for (usize i = 0; i < x.size(); ++i) s += x[i] * y[i] * w[i];
+  ctx.comm->allreduce(&s, 1, comm::ReduceOp::kSum);
+  if (ctx.prof) {
+    ctx.prof->add_flops(3.0 * static_cast<double>(x.size()));
+    ctx.prof->add_bytes(3.0 * static_cast<double>(x.size() * sizeof(real_t)));
+    ctx.prof->add_reduction();
+  }
+  return s;
+}
+
+real_t gdot(const Context& ctx, const RealVec& x, const RealVec& y) {
+  return glsc3(ctx, x, y, ctx.gs->inverse_multiplicity());
+}
+
+void remove_mean(const Context& ctx, RealVec& x) {
+  const RealVec& inv_mult = ctx.gs->inverse_multiplicity();
+  const RealVec& mass = ctx.coef->mass;
+  real_t sums[2] = {0, 0};
+  for (usize i = 0; i < x.size(); ++i) {
+    const real_t bw = mass[i] * inv_mult[i];
+    sums[0] += bw * x[i];
+    sums[1] += bw;
+  }
+  ctx.comm->allreduce(sums, 2, comm::ReduceOp::kSum);
+  if (ctx.prof) ctx.prof->add_reduction();
+  const real_t mean = sums[0] / sums[1];
+  for (real_t& v : x) v -= mean;
+}
+
+void remove_null_component(const Context& ctx, RealVec& b) {
+  const RealVec& inv_mult = ctx.gs->inverse_multiplicity();
+  real_t sums[2] = {0, 0};
+  for (usize i = 0; i < b.size(); ++i) {
+    sums[0] += b[i] * inv_mult[i];
+    sums[1] += inv_mult[i];
+  }
+  ctx.comm->allreduce(sums, 2, comm::ReduceOp::kSum);
+  if (ctx.prof) ctx.prof->add_reduction();
+  const real_t c = sums[0] / sums[1];
+  for (real_t& v : b) v -= c;
+}
+
+void ax_helmholtz(const Context& ctx, const RealVec& u, RealVec& out, real_t h1,
+                  real_t h2) {
+  const field::Space& sp = *ctx.space;
+  const field::Coef& coef = *ctx.coef;
+  const int n = sp.n;
+  const lidx_t npe = sp.nodes_per_element();
+  const lidx_t nelem = ctx.num_elements();
+  FELIS_CHECK(u.size() == ctx.num_dofs() && out.size() == ctx.num_dofs());
+
+  RealVec ur(static_cast<usize>(npe)), us(static_cast<usize>(npe)),
+      ut(static_cast<usize>(npe));
+  RealVec wr(static_cast<usize>(npe)), ws(static_cast<usize>(npe)),
+      wt(static_cast<usize>(npe)), tmp(static_cast<usize>(npe));
+
+  for (lidx_t e = 0; e < nelem; ++e) {
+    const usize base = static_cast<usize>(e) * static_cast<usize>(npe);
+    const real_t* ue = u.data() + base;
+    real_t* oe = out.data() + base;
+    field::grad_ref(sp.d, ue, ur.data(), us.data(), ut.data(), n);
+    for (lidx_t q = 0; q < npe; ++q) {
+      const usize o = base + static_cast<usize>(q);
+      const real_t g11 = coef.g[0][o], g12 = coef.g[1][o], g13 = coef.g[2][o];
+      const real_t g22 = coef.g[3][o], g23 = coef.g[4][o], g33 = coef.g[5][o];
+      const usize i = static_cast<usize>(q);
+      wr[i] = g11 * ur[i] + g12 * us[i] + g13 * ut[i];
+      ws[i] = g12 * ur[i] + g22 * us[i] + g23 * ut[i];
+      wt[i] = g13 * ur[i] + g23 * us[i] + g33 * ut[i];
+    }
+    // out = h1 (D_rᵀ wr + D_sᵀ ws + D_tᵀ wt) + h2 B u.
+    field::apply_axis0(sp.dt, wr.data(), tmp.data(), n, n);
+    for (lidx_t q = 0; q < npe; ++q)
+      oe[q] = h1 * tmp[static_cast<usize>(q)];
+    field::apply_axis1(sp.dt, ws.data(), tmp.data(), n, n);
+    for (lidx_t q = 0; q < npe; ++q) oe[q] += h1 * tmp[static_cast<usize>(q)];
+    field::apply_axis2(sp.dt, wt.data(), tmp.data(), n, n);
+    for (lidx_t q = 0; q < npe; ++q) oe[q] += h1 * tmp[static_cast<usize>(q)];
+    if (h2 != 0.0) {
+      for (lidx_t q = 0; q < npe; ++q)
+        oe[q] += h2 * coef.mass[base + static_cast<usize>(q)] * ue[q];
+    }
+  }
+  if (ctx.prof) {
+    // 6 tensor contractions of 2n⁴ flops each + ~18n³ pointwise per element.
+    const double flops = static_cast<double>(nelem) *
+                         (12.0 * std::pow(n, 4) + 18.0 * std::pow(n, 3));
+    ctx.prof->add_flops(flops);
+    ctx.prof->add_bytes(10.0 * static_cast<double>(ctx.num_dofs() * sizeof(real_t)));
+  }
+}
+
+void grad(const Context& ctx, const RealVec& u, RealVec& dudx, RealVec& dudy,
+          RealVec& dudz) {
+  const field::Space& sp = *ctx.space;
+  const field::Coef& coef = *ctx.coef;
+  const int n = sp.n;
+  const lidx_t npe = sp.nodes_per_element();
+  RealVec ur(static_cast<usize>(npe)), us(static_cast<usize>(npe)),
+      ut(static_cast<usize>(npe));
+  for (lidx_t e = 0; e < ctx.num_elements(); ++e) {
+    const usize base = static_cast<usize>(e) * static_cast<usize>(npe);
+    field::grad_ref(sp.d, u.data() + base, ur.data(), us.data(), ut.data(), n);
+    for (lidx_t q = 0; q < npe; ++q) {
+      const usize o = base + static_cast<usize>(q);
+      const usize i = static_cast<usize>(q);
+      dudx[o] = coef.drdx[0][o] * ur[i] + coef.drdx[3][o] * us[i] +
+                coef.drdx[6][o] * ut[i];
+      dudy[o] = coef.drdx[1][o] * ur[i] + coef.drdx[4][o] * us[i] +
+                coef.drdx[7][o] * ut[i];
+      dudz[o] = coef.drdx[2][o] * ur[i] + coef.drdx[5][o] * us[i] +
+                coef.drdx[8][o] * ut[i];
+    }
+  }
+  if (ctx.prof)
+    ctx.prof->add_flops(static_cast<double>(ctx.num_elements()) *
+                        (6.0 * std::pow(n, 4) + 15.0 * std::pow(n, 3)));
+}
+
+void div_weak(const Context& ctx, const RealVec& ux, const RealVec& uy,
+              const RealVec& uz, RealVec& out) {
+  const field::Space& sp = *ctx.space;
+  const field::Coef& coef = *ctx.coef;
+  const int n = sp.n;
+  const lidx_t npe = sp.nodes_per_element();
+  RealVec wr(static_cast<usize>(npe)), ws(static_cast<usize>(npe)),
+      wt(static_cast<usize>(npe)), tmp(static_cast<usize>(npe));
+  const RealVec* u[3] = {&ux, &uy, &uz};
+  for (lidx_t e = 0; e < ctx.num_elements(); ++e) {
+    const usize base = static_cast<usize>(e) * static_cast<usize>(npe);
+    real_t* oe = out.data() + base;
+    // wr_c(q) = B(q)·Σ_a drdx(c,a)(q)·u_a(q); then out = Σ_c D_cᵀ wr_c.
+    for (lidx_t q = 0; q < npe; ++q) {
+      const usize o = base + static_cast<usize>(q);
+      const usize i = static_cast<usize>(q);
+      real_t sr = 0, ss = 0, st = 0;
+      for (int a = 0; a < 3; ++a) {
+        const real_t ua = (*u[a])[o];
+        sr += coef.drdx[static_cast<usize>(0 + a)][o] * ua;
+        ss += coef.drdx[static_cast<usize>(3 + a)][o] * ua;
+        st += coef.drdx[static_cast<usize>(6 + a)][o] * ua;
+      }
+      // mass = jac·w, so wr carries the full jac·w·drdx·u quadrature factor.
+      wr[i] = coef.mass[o] * sr;
+      ws[i] = coef.mass[o] * ss;
+      wt[i] = coef.mass[o] * st;
+    }
+    field::apply_axis0(sp.dt, wr.data(), tmp.data(), n, n);
+    for (lidx_t q = 0; q < npe; ++q) oe[q] = tmp[static_cast<usize>(q)];
+    field::apply_axis1(sp.dt, ws.data(), tmp.data(), n, n);
+    for (lidx_t q = 0; q < npe; ++q) oe[q] += tmp[static_cast<usize>(q)];
+    field::apply_axis2(sp.dt, wt.data(), tmp.data(), n, n);
+    for (lidx_t q = 0; q < npe; ++q) oe[q] += tmp[static_cast<usize>(q)];
+  }
+  if (ctx.prof)
+    ctx.prof->add_flops(static_cast<double>(ctx.num_elements()) *
+                        (6.0 * std::pow(n, 4) + 24.0 * std::pow(n, 3)));
+}
+
+void div_strong(const Context& ctx, const RealVec& ux, const RealVec& uy,
+                const RealVec& uz, RealVec& out) {
+  const usize nd = ctx.num_dofs();
+  RealVec dx(nd), dy(nd), dz(nd);
+  grad(ctx, ux, dx, dy, dz);
+  for (usize i = 0; i < nd; ++i) out[i] = dx[i];
+  grad(ctx, uy, dx, dy, dz);
+  for (usize i = 0; i < nd; ++i) out[i] += dy[i];
+  grad(ctx, uz, dx, dy, dz);
+  for (usize i = 0; i < nd; ++i) out[i] += dz[i];
+}
+
+RealVec diag_helmholtz(const Context& ctx, real_t h1, real_t h2) {
+  const field::Space& sp = *ctx.space;
+  const field::Coef& coef = *ctx.coef;
+  const int n = sp.n;
+  const lidx_t npe = sp.nodes_per_element();
+  RealVec diag(ctx.num_dofs(), 0.0);
+  // Exact diagonal of the local stiffness:
+  //   A_(ijk),(ijk) = Σ_m D(m,i)² g11(m,j,k) + Σ_m D(m,j)² g22(i,m,k)
+  //                 + Σ_m D(m,k)² g33(i,j,m)
+  //                 + 2 D(i,i)D(j,j) g12(i,j,k) + 2 D(i,i)D(k,k) g13(i,j,k)
+  //                 + 2 D(j,j)D(k,k) g23(i,j,k).
+  RealVec d2(static_cast<usize>(n) * static_cast<usize>(n));
+  RealVec ddiag(static_cast<usize>(n));
+  for (int m = 0; m < n; ++m)
+    for (int i = 0; i < n; ++i)
+      d2[static_cast<usize>(m * n + i)] = sp.d(m, i) * sp.d(m, i);
+  for (int i = 0; i < n; ++i) ddiag[static_cast<usize>(i)] = sp.d(i, i);
+  const auto at = [n](int i, int j, int k) {
+    return static_cast<usize>(i + n * (j + n * k));
+  };
+  for (lidx_t e = 0; e < ctx.num_elements(); ++e) {
+    const usize base = static_cast<usize>(e) * static_cast<usize>(npe);
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) {
+          real_t v = 0;
+          for (int m = 0; m < n; ++m) {
+            v += d2[static_cast<usize>(m * n + i)] * coef.g[0][base + at(m, j, k)];
+            v += d2[static_cast<usize>(m * n + j)] * coef.g[3][base + at(i, m, k)];
+            v += d2[static_cast<usize>(m * n + k)] * coef.g[5][base + at(i, j, m)];
+          }
+          const usize o = base + at(i, j, k);
+          v += 2.0 * ddiag[static_cast<usize>(i)] * ddiag[static_cast<usize>(j)] *
+               coef.g[1][o];
+          v += 2.0 * ddiag[static_cast<usize>(i)] * ddiag[static_cast<usize>(k)] *
+               coef.g[2][o];
+          v += 2.0 * ddiag[static_cast<usize>(j)] * ddiag[static_cast<usize>(k)] *
+               coef.g[4][o];
+          diag[o] = h1 * v + h2 * coef.mass[o];
+        }
+  }
+  ctx.gs->apply(diag, gs::GsOp::kAdd);
+  return diag;
+}
+
+real_t cfl(const Context& ctx, const RealVec& ux, const RealVec& uy,
+           const RealVec& uz, real_t dt) {
+  const field::Space& sp = *ctx.space;
+  const field::Coef& coef = *ctx.coef;
+  const int n = sp.n;
+  // Reference-space spacings around each GLL index.
+  RealVec dr(static_cast<usize>(n));
+  for (int i = 0; i < n; ++i) {
+    real_t h = 2.0;
+    if (i > 0) h = std::min(h, sp.gll_pts[static_cast<usize>(i)] -
+                                   sp.gll_pts[static_cast<usize>(i - 1)]);
+    if (i + 1 < n) h = std::min(h, sp.gll_pts[static_cast<usize>(i + 1)] -
+                                       sp.gll_pts[static_cast<usize>(i)]);
+    dr[static_cast<usize>(i)] = h;
+  }
+  real_t worst = 0;
+  const lidx_t npe = sp.nodes_per_element();
+  for (lidx_t e = 0; e < ctx.num_elements(); ++e) {
+    const usize base = static_cast<usize>(e) * static_cast<usize>(npe);
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) {
+          const usize o = base + static_cast<usize>(i + n * (j + n * k));
+          const real_t u[3] = {ux[o], uy[o], uz[o]};
+          const int ref[3] = {i, j, k};
+          real_t sum = 0;
+          for (int a = 0; a < 3; ++a) {
+            real_t ua = 0;
+            for (int b = 0; b < 3; ++b)
+              ua += u[b] * coef.drdx[static_cast<usize>(3 * a + b)][o];
+            sum += std::abs(ua) / dr[static_cast<usize>(ref[a])];
+          }
+          if (sum > worst) worst = sum;
+        }
+  }
+  real_t global = worst * dt;
+  ctx.comm->allreduce(&global, 1, comm::ReduceOp::kMax);
+  return global;
+}
+
+Advector::Advector(const Context& ctx) : ctx_(ctx) {
+  const field::Space& sp = *ctx.space;
+  const usize nd3 = static_cast<usize>(sp.dealias_nodes_per_element());
+  const usize total_d = static_cast<usize>(ctx.num_elements()) * nd3;
+  cr_.resize(total_d);
+  cs_.resize(total_d);
+  ct_.resize(total_d);
+  const usize wsz = static_cast<usize>(sp.nd) * static_cast<usize>(sp.n) *
+                    static_cast<usize>(sp.nd + sp.n);
+  work_.resize(wsz);
+  t1_.resize(nd3);
+  t2_.resize(nd3);
+  s_.resize(nd3);
+  FELIS_CHECK_MSG(!ctx.coef->wjac_d.empty(),
+                  "Advector requires dealias geometric factors (build_coef "
+                  "with dealias=true)");
+}
+
+void Advector::set_velocity(const RealVec& cx, const RealVec& cy,
+                            const RealVec& cz) {
+  const field::Space& sp = *ctx_.space;
+  const field::Coef& coef = *ctx_.coef;
+  const int n = sp.n, m = sp.nd;
+  const lidx_t npe_d = sp.dealias_nodes_per_element();
+  const RealVec* c[3] = {&cx, &cy, &cz};
+  RealVec cgl(static_cast<usize>(npe_d));
+  for (lidx_t e = 0; e < ctx_.num_elements(); ++e) {
+    const usize base = static_cast<usize>(e) * static_cast<usize>(sp.nodes_per_element());
+    const usize base_d = static_cast<usize>(e) * static_cast<usize>(npe_d);
+    real_t* dst[3] = {cr_.data() + base_d, cs_.data() + base_d,
+                      ct_.data() + base_d};
+    for (lidx_t q = 0; q < npe_d; ++q)
+      for (int a = 0; a < 3; ++a) dst[a][q] = 0;
+    for (int b = 0; b < 3; ++b) {
+      field::interp3(sp.interp, c[b]->data() + base, cgl.data(), work_.data(), n, m);
+      for (lidx_t q = 0; q < npe_d; ++q) {
+        const usize o = base_d + static_cast<usize>(q);
+        const real_t cb = cgl[static_cast<usize>(q)] * coef.wjac_d[o];
+        dst[0][q] += cb * coef.drdx_d[static_cast<usize>(0 + b)][o];
+        dst[1][q] += cb * coef.drdx_d[static_cast<usize>(3 + b)][o];
+        dst[2][q] += cb * coef.drdx_d[static_cast<usize>(6 + b)][o];
+      }
+    }
+  }
+  if (ctx_.prof)
+    ctx_.prof->add_flops(static_cast<double>(ctx_.num_elements()) *
+                         (3 * 2.0 * std::pow(sp.nd, 3) * sp.n * 3 +
+                          18.0 * std::pow(sp.nd, 3)));
+}
+
+void Advector::apply(const RealVec& u, RealVec& out, real_t sign) const {
+  const field::Space& sp = *ctx_.space;
+  const int n = sp.n, m = sp.nd;
+  const lidx_t npe = sp.nodes_per_element();
+  const lidx_t npe_d = sp.dealias_nodes_per_element();
+  RealVec ua(static_cast<usize>(npe));
+  for (lidx_t e = 0; e < ctx_.num_elements(); ++e) {
+    const usize base = static_cast<usize>(e) * static_cast<usize>(npe);
+    const usize base_d = static_cast<usize>(e) * static_cast<usize>(npe_d);
+    const real_t* ue = u.data() + base;
+    // s(q) = Σ_a c_a(q) · (∂u/∂r_a)(q) on the Gauss grid; ∂u/∂r_a at Gauss
+    // points via mixed tensor chains (derivative on axis a, interpolation on
+    // the others).
+    // axis r: dgl ⊗ interp ⊗ interp.
+    field::apply_axis0(sp.dgl, ue, t1_.data(), n, n);
+    field::apply_axis1(sp.interp, t1_.data(), t2_.data(), m, n);
+    field::apply_axis2(sp.interp, t2_.data(), t1_.data(), m, m);
+    for (lidx_t q = 0; q < npe_d; ++q)
+      s_[static_cast<usize>(q)] =
+          cr_[base_d + static_cast<usize>(q)] * t1_[static_cast<usize>(q)];
+    // axis s.
+    field::apply_axis0(sp.interp, ue, t1_.data(), n, n);
+    field::apply_axis1(sp.dgl, t1_.data(), t2_.data(), m, n);
+    field::apply_axis2(sp.interp, t2_.data(), t1_.data(), m, m);
+    for (lidx_t q = 0; q < npe_d; ++q)
+      s_[static_cast<usize>(q)] +=
+          cs_[base_d + static_cast<usize>(q)] * t1_[static_cast<usize>(q)];
+    // axis t.
+    field::apply_axis0(sp.interp, ue, t1_.data(), n, n);
+    field::apply_axis1(sp.interp, t1_.data(), t2_.data(), m, n);
+    field::apply_axis2(sp.dgl, t2_.data(), t1_.data(), m, m);
+    for (lidx_t q = 0; q < npe_d; ++q)
+      s_[static_cast<usize>(q)] +=
+          ct_[base_d + static_cast<usize>(q)] * t1_[static_cast<usize>(q)];
+    // Project back: out += sign · interpᵀ s (Galerkin weak form).
+    field::apply_axis0(sp.interp_t, s_.data(), t1_.data(), m, m);
+    field::apply_axis1(sp.interp_t, t1_.data(), t2_.data(), n, m);
+    field::apply_axis2(sp.interp_t, t2_.data(), ua.data(), n, n);
+    real_t* oe = out.data() + base;
+    for (lidx_t q = 0; q < npe; ++q) oe[q] += sign * ua[static_cast<usize>(q)];
+  }
+  if (ctx_.prof)
+    ctx_.prof->add_flops(static_cast<double>(ctx_.num_elements()) * 12.0 *
+                             std::pow(m, 3) * n +
+                         static_cast<double>(ctx_.num_elements()) * 6.0 *
+                             std::pow(m, 3));
+}
+
+}  // namespace felis::operators

@@ -1,0 +1,64 @@
+/// \file ops.hpp
+/// \brief Matrix-free spectral-element operators.
+///
+/// Everything here works on the *unassembled* per-element representation
+/// ("one always works with the unassembled matrix on a per-element basis",
+/// §5.1): routines compute local element contributions; callers apply the
+/// gather–scatter to assemble and masks to impose Dirichlet conditions.
+#pragma once
+
+#include "operators/context.hpp"
+
+namespace felis::operators {
+
+/// Helmholtz operator, local part: out = h1·A u + h2·B u where A is the
+/// (weak) stiffness built from the metric factors g and B the diagonal mass.
+/// The caller applies GS + masks. This is the `compute` kernel of the
+/// paper's abstract matrix-vector product type.
+void ax_helmholtz(const Context& ctx, const RealVec& u, RealVec& out, real_t h1,
+                  real_t h2);
+
+/// Pointwise physical gradient: dudx_a(q) = Σ_c drdx(c,a) ∂u/∂r_c (no mass).
+void grad(const Context& ctx, const RealVec& u, RealVec& dudx, RealVec& dudy,
+          RealVec& dudz);
+
+/// Weak divergence moments: out_i = Σ_a (∂φ_i/∂x_a, u_a)  — i.e. ∫∇φ·u.
+/// This is the pressure-Poisson right-hand-side primitive; its natural
+/// (do-nothing) boundary condition is exactly the splitting scheme's
+/// homogeneous pressure Neumann condition.
+void div_weak(const Context& ctx, const RealVec& ux, const RealVec& uy,
+              const RealVec& uz, RealVec& out);
+
+/// Pointwise strong divergence (diagnostics): out = ∇·u.
+void div_strong(const Context& ctx, const RealVec& ux, const RealVec& uy,
+                const RealVec& uz, RealVec& out);
+
+/// Assembled diagonal of h1·A + h2·B (gather–scattered); the block-Jacobi
+/// preconditioner for velocity/temperature solves (§6) inverts this.
+RealVec diag_helmholtz(const Context& ctx, real_t h1, real_t h2);
+
+/// CFL number of the velocity field for time step dt (global max).
+real_t cfl(const Context& ctx, const RealVec& ux, const RealVec& uy,
+           const RealVec& uz, real_t dt);
+
+/// Dealiased (3/2-rule) advection operator: evaluates the convective term on
+/// the Gauss grid and projects it back (§6 "overintegration").
+class Advector {
+ public:
+  explicit Advector(const Context& ctx);
+
+  /// Set the advecting velocity c (GLL nodal); precomputes the contravariant
+  /// flux coefficients wJ·(c·∇r_a) on the Gauss grid.
+  void set_velocity(const RealVec& cx, const RealVec& cy, const RealVec& cz);
+
+  /// out += sign · (φ, (c·∇)u) in weak dealiased form (local part; caller
+  /// gather-scatters). Call set_velocity first.
+  void apply(const RealVec& u, RealVec& out, real_t sign) const;
+
+ private:
+  Context ctx_;
+  RealVec cr_, cs_, ct_;        ///< flux coefficients per Gauss node
+  mutable RealVec work_, t1_, t2_, s_;  ///< per-call scratch
+};
+
+}  // namespace felis::operators

@@ -1,0 +1,52 @@
+/// \file setup.hpp
+/// \brief Convenience bundle building one rank's full discretization stack
+/// (local mesh, space, geometric factors, gather–scatter) from a global mesh.
+///
+/// Every rank calls this with the same global mesh; partitioning and
+/// numbering are deterministic, so all ranks agree without communication.
+#pragma once
+
+#include <memory>
+
+#include "operators/context.hpp"
+
+namespace felis::operators {
+
+struct RankSetup {
+  mesh::LocalMesh lmesh;
+  field::Space space;
+  field::Coef coef;
+  std::unique_ptr<gs::GatherScatter> gs;
+  std::unique_ptr<Profiler> prof;
+  comm::Communicator* comm = nullptr;
+
+  Context ctx() const {
+    Context c;
+    c.lmesh = &lmesh;
+    c.space = &space;
+    c.coef = &coef;
+    c.gs = gs.get();
+    c.comm = comm;
+    c.prof = prof.get();
+    return c;
+  }
+};
+
+/// `dealias`: build the Gauss-grid geometric factors (required by the
+/// advector). `three_halves_rule`: use the 3/2 overintegration grid (false
+/// collocates advection on the GLL grid — the aliased ablation variant).
+inline RankSetup make_rank_setup(const mesh::HexMesh& global_mesh, int degree,
+                                 comm::Communicator& comm, bool dealias,
+                                 bool three_halves_rule = true) {
+  RankSetup s;
+  auto locals = mesh::distribute_mesh(global_mesh, degree, comm.size());
+  s.lmesh = std::move(locals[static_cast<usize>(comm.rank())]);
+  s.space = field::Space::make(degree, three_halves_rule);
+  s.coef = field::build_coef(s.lmesh, s.space, dealias);
+  s.gs = std::make_unique<gs::GatherScatter>(s.lmesh, comm);
+  s.prof = std::make_unique<Profiler>();
+  s.comm = &comm;
+  return s;
+}
+
+}  // namespace felis::operators

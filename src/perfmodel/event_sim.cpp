@@ -1,0 +1,51 @@
+#include "perfmodel/event_sim.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace felis::perfmodel {
+
+SimResult simulate_streams(const std::vector<SimTask>& tasks,
+                           double launch_latency) {
+  std::map<int, double> host_time;    ///< next free time per host thread
+  std::map<int, double> stream_time;  ///< completion of last task per stream
+  SimResult result;
+  int max_stream = 0;
+  for (const SimTask& t : tasks) max_stream = std::max(max_stream, t.stream);
+  result.device_busy.assign(static_cast<usize>(max_stream) + 1, 0.0);
+
+  for (const SimTask& t : tasks) {
+    FELIS_CHECK(t.stream >= 0 && t.host >= 0);
+    double& host = host_time[t.host];
+    double& stream = stream_time[t.stream];
+    if (t.host_block > 0) {
+      // Host-initiated communication: wait for the stream's prior kernels
+      // (device data must be ready), then block the host.
+      const double begin = std::max(host, stream);
+      const double end = begin + t.host_block;
+      result.trace.push_back({t.host + 2, t.name, begin, end});  // host rows
+      host = end;
+      // The dependent stream may not start subsequent work earlier.
+      stream = std::max(stream, end);
+    }
+    if (t.device_seconds > 0) {
+      // Asynchronous launch: host pays the launch latency only.
+      const double submit = host + launch_latency;
+      host = submit;
+      const double begin = std::max(submit, stream);
+      const double end = begin + t.device_seconds;
+      result.trace.push_back({t.stream, t.name, begin, end});
+      stream = end;
+      result.device_busy[static_cast<usize>(t.stream)] += t.device_seconds;
+    } else if (t.host_block <= 0) {
+      // Pure host work (e.g. pack loop): occupy the host thread only.
+      host += launch_latency;
+    }
+    result.makespan = std::max({result.makespan, host, stream});
+  }
+  return result;
+}
+
+}  // namespace felis::perfmodel

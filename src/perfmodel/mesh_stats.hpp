@@ -1,0 +1,71 @@
+/// \file mesh_stats.hpp
+/// \brief Partition statistics of the production RBC mesh, computed
+/// analytically (the 108M-element mesh is never materialized; see DESIGN.md).
+///
+/// The paper's mesh: "composed of 108M elements and polynomial degree 7,
+/// corresponding to 37B unique grid points and more than 148B degrees of
+/// freedom", in a slender cylinder of aspect ratio 1:10 (§6). The partition
+/// model is the z-slab decomposition that recursive coordinate bisection
+/// produces on a slender cell (each rank owns a contiguous stack of disk
+/// layers), with the disk split further once ranks outnumber layers.
+#pragma once
+
+#include <cmath>
+
+#include "perfmodel/workload.hpp"
+
+namespace felis::perfmodel {
+
+struct ProductionMesh {
+  std::string name;
+  double disk_elements = 432;   ///< elements per z-layer of the o-grid disk
+  double layers = 250000;       ///< z-layers
+  int degree = 7;
+
+  double total_elements() const { return disk_elements * layers; }
+  double unique_grid_points() const {
+    // Box-topology estimate: (N·n_axis + 1) per direction; for the slender
+    // cell the layered structure dominates: disk_points × z_points.
+    const double per_dir = std::sqrt(disk_elements);
+    const double disk_points = (degree * per_dir + 1) * (degree * per_dir + 1);
+    return disk_points * (degree * layers + 1);
+  }
+  double dofs() const { return unique_grid_points() * 4; }  ///< u,v,w,T
+};
+
+/// The paper's production configuration: 108M elements, N=7, ~37B points.
+inline ProductionMesh paper_production_mesh() {
+  ProductionMesh m;
+  m.name = "RBC cylinder 1:10, Ra=1e15";
+  m.disk_elements = 432;
+  m.layers = 250000;
+  m.degree = 7;
+  return m;
+}
+
+/// Analytic per-rank partition statistics for P ranks.
+inline PartitionStats production_partition(const ProductionMesh& mesh, int ranks) {
+  PartitionStats s;
+  const double n1 = mesh.degree + 1;
+  const double face_nodes = n1 * n1;
+  if (ranks <= mesh.layers) {
+    // z-slabs: each rank owns layers/P disk layers; halo = 2 disk cuts.
+    s.local_elements = mesh.total_elements() / ranks;
+    s.neighbors = (ranks > 1) ? 2 : 0;
+    s.shared_nodes = (ranks > 1) ? 2 * mesh.disk_elements * face_nodes : 0;
+    // Coarse grid shares the cut's vertices: (N=1) face per element.
+    s.coarse_shared_nodes = (ranks > 1) ? 2 * mesh.disk_elements * 4 : 0;
+  } else {
+    // Disk split into sectors as well: q sectors per layer-slab.
+    const double q = std::ceil(static_cast<double>(ranks) / mesh.layers);
+    s.local_elements = mesh.total_elements() / ranks;
+    const double sector_width = std::sqrt(mesh.disk_elements / q);
+    s.neighbors = 2 + 2;
+    s.shared_nodes =
+        2 * (mesh.disk_elements / q) * face_nodes + 2 * sector_width * face_nodes;
+    s.coarse_shared_nodes = 2 * (mesh.disk_elements / q) * 4 + 2 * sector_width * 4;
+  }
+  return s;
+}
+
+}  // namespace felis::perfmodel

@@ -1,0 +1,78 @@
+#include "perfmodel/precon_schedule.hpp"
+
+#include <cmath>
+
+namespace felis::perfmodel {
+
+PreconSchedule build_precon_schedule(const Machine& machine, double elements,
+                                     int degree, int coarse_iterations,
+                                     int ranks, const PartitionStats& part) {
+  const double n = degree + 1;
+  const double npe = n * n * n;
+  const double kReal = sizeof(real_t);
+
+  // Fine term: three FDM transform kernels (large, bandwidth-bound), the
+  // gather–scatter (pack kernel + host-blocking halo wait + scatter kernel)
+  // and the multiplicity weighting.
+  const double fdm_chunk =
+      machine.kernel_time(4 * elements * npe * n, 2 * elements * npe * kReal);
+  const double pack = machine.kernel_time(0, elements * npe * kReal);
+  const double halo_wait =
+      part.neighbors * machine.message_time(
+                           static_cast<usize>(part.shared_nodes * kReal /
+                                              std::max(part.neighbors, 1.0))) +
+      machine.network.gpu_sync_overhead;
+  const double weight = machine.kernel_time(elements * npe, elements * npe * kReal);
+
+  // Coarse term: restriction, `coarse_iterations` PCG iterations of tiny
+  // kernels and two reductions each, prolongation.
+  const double transfer =
+      machine.kernel_time(elements * 16 * n, elements * (npe + 16) * kReal);
+  const double coarse_kernel =
+      machine.kernel_time(elements * 8 * 20, elements * 8 * 4 * kReal);
+  const double reduce = machine.allreduce_time(ranks, sizeof(real_t));
+  const double coarse_halo =
+      part.neighbors *
+          machine.message_time(static_cast<usize>(
+              part.coarse_shared_nodes * kReal / std::max(part.neighbors, 1.0))) +
+      machine.network.gpu_sync_overhead;
+
+  PreconSchedule sched;
+  sched.launch_latency = machine.device.launch_latency;
+
+  const auto emit = [&](std::vector<SimTask>& out, int host, int stream) {
+    // Coarse chain first in the serial schedule (mirrors eq. 3's ordering).
+    out.push_back({"restrict", host, stream, transfer, 0});
+    out.push_back({"coarse-gs", host, stream, coarse_kernel / 4, coarse_halo});
+    for (int it = 0; it < coarse_iterations; ++it) {
+      out.push_back({"coarse-ax", host, stream, coarse_kernel, 0});
+      out.push_back({"coarse-gs", host, stream, coarse_kernel / 4, coarse_halo});
+      out.push_back({"coarse-dot1", host, stream, coarse_kernel / 3, reduce});
+      out.push_back({"coarse-axpy", host, stream, coarse_kernel / 2, 0});
+      out.push_back({"coarse-dot2", host, stream, coarse_kernel / 3, reduce});
+    }
+    out.push_back({"prolong", host, stream, transfer, 0});
+  };
+  const auto emit_fine = [&](std::vector<SimTask>& out, int host, int stream) {
+    out.push_back({"fdm-forward", host, stream, fdm_chunk, 0});
+    out.push_back({"fdm-diag", host, stream, fdm_chunk / 3, 0});
+    out.push_back({"fdm-backward", host, stream, fdm_chunk, 0});
+    out.push_back({"gs-pack", host, stream, pack, 0});
+    out.push_back({"gs-halo", host, stream, 0, halo_wait});
+    out.push_back({"gs-scatter", host, stream, pack, 0});
+    out.push_back({"weight", host, stream, weight, 0});
+  };
+
+  // Serial (timeline A): one host thread, one stream, coarse then fine.
+  emit(sched.serial, 0, 0);
+  emit_fine(sched.serial, 0, 0);
+
+  // Task-parallel (timeline B): coarse chain on host thread 1 / stream 1
+  // (high priority), fine smoother on host thread 0 / stream 0.
+  emit(sched.parallel, 1, 1);
+  emit_fine(sched.parallel, 0, 0);
+
+  return sched;
+}
+
+}  // namespace felis::perfmodel

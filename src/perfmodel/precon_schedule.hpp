@@ -1,0 +1,25 @@
+/// \file precon_schedule.hpp
+/// \brief Task DAG of the additive Schwarz preconditioner (serial and
+/// task-parallel schedules) for the event simulator — Fig. 2's content.
+#pragma once
+
+#include "perfmodel/event_sim.hpp"
+#include "perfmodel/workload.hpp"
+
+namespace felis::perfmodel {
+
+struct PreconSchedule {
+  std::vector<SimTask> serial;    ///< timeline A of Fig. 2
+  std::vector<SimTask> parallel;  ///< timeline B of Fig. 2
+  double launch_latency = 0;
+};
+
+/// Build both schedules of ONE preconditioner application for a rank holding
+/// `elements` elements at the given degree, on `machine`, with `ranks` peers
+/// (sizes the reductions) — the "small test case representative of the
+/// strong-scaling regime" of Fig. 2.
+PreconSchedule build_precon_schedule(const Machine& machine, double elements,
+                                     int degree, int coarse_iterations,
+                                     int ranks, const PartitionStats& part);
+
+}  // namespace felis::perfmodel

@@ -1,0 +1,40 @@
+/// \file scaling.hpp
+/// \brief Strong-scaling predictor: regenerates Fig. 3 (time per step vs
+/// device count on LUMI and Leonardo) and Fig. 4 (wall-time distribution)
+/// from the workload model, including the overlapped-preconditioner effect.
+#pragma once
+
+#include <vector>
+
+#include "perfmodel/mesh_stats.hpp"
+
+namespace felis::perfmodel {
+
+struct ScalingPoint {
+  int devices = 0;
+  double seconds_per_step = 0;
+  double parallel_efficiency = 0;    ///< vs the smallest measured count
+  double elements_per_device = 0;
+  std::map<std::string, double> phase_seconds;
+};
+
+struct ScalingOptions {
+  /// Task-overlap of the coarse-grid solve (§5.3): when on, the coarse
+  /// latency-bound time hides under the fine smoother within the pressure
+  /// preconditioner.
+  bool overlap_coarse = true;
+  SolverCounts counts;
+};
+
+/// Predict time/step across the given device counts on one machine.
+std::vector<ScalingPoint> predict_strong_scaling(
+    const Machine& machine, const ProductionMesh& mesh,
+    const std::vector<int>& device_counts, const ScalingOptions& options);
+
+/// Predicted step time at one device count, splitting out the coarse-grid
+/// share so the overlapped variant can be modelled.
+StepPrediction predict_with_overlap(const Machine& machine,
+                                    const ProductionMesh& mesh, int devices,
+                                    const ScalingOptions& options);
+
+}  // namespace felis::perfmodel

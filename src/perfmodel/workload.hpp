@@ -1,0 +1,91 @@
+/// \file workload.hpp
+/// \brief Per-step operation counts of the RBC solver, assembled from the
+/// same kernel inventory the real code executes.
+///
+/// The strong-scaling predictor (Fig. 3) needs, for every solver phase, the
+/// flops, memory traffic, messages and reductions one rank performs per time
+/// step. These are derived from the discretization parameters (local element
+/// count, polynomial degree), the measured Krylov iteration counts of real
+/// felis runs, and the analytic partition statistics of the production mesh.
+/// The kernel footprints mirror operators/ops.cpp's instrumentation
+/// formulas, so a real run's Profiler counters validate the model (see
+/// tests/test_perfmodel.cpp).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "perfmodel/machine.hpp"
+
+namespace felis::perfmodel {
+
+/// Aggregated cost of one solver phase per time step (one rank).
+struct PhaseCost {
+  double flops = 0;
+  double bytes = 0;        ///< field + metric traffic (device memory)
+  double launches = 0;     ///< kernel launches (host latency)
+  double messages = 0;     ///< point-to-point halo messages
+  double message_bytes = 0;
+  double reductions = 0;   ///< global allreduces (Krylov dot products)
+
+  PhaseCost& operator+=(const PhaseCost& o) {
+    flops += o.flops;
+    bytes += o.bytes;
+    launches += o.launches;
+    messages += o.messages;
+    message_bytes += o.message_bytes;
+    reductions += o.reductions;
+    return *this;
+  }
+  PhaseCost scaled(double f) const {
+    PhaseCost c = *this;
+    c.flops *= f;
+    c.bytes *= f;
+    c.launches *= f;
+    c.messages *= f;
+    c.message_bytes *= f;
+    c.reductions *= f;
+    return c;
+  }
+};
+
+using StepWorkload = std::map<std::string, PhaseCost>;
+
+/// Krylov iteration counts per step, measured from real felis runs
+/// (bench_fig3 extracts them from StepInfo histories).
+struct SolverCounts {
+  /// Defaults reflect the production regime (high-Ra turbulence, tight
+  /// pressure tolerance): bench_fig3 also reports with counts *measured*
+  /// from real laptop-scale felis runs.
+  double pressure_iterations = 40;  ///< GMRES+HSMG
+  double velocity_iterations = 9;   ///< CG, summed over 3 components
+  double scalar_iterations = 4;     ///< CG
+  int coarse_iterations = 10;       ///< fixed PCG inside HSMG
+};
+
+/// Rank-local partition statistics (real or analytic; see mesh_stats.hpp).
+struct PartitionStats {
+  double local_elements = 0;
+  double neighbors = 0;            ///< gather–scatter peers
+  double shared_nodes = 0;         ///< fine-grid doubles exchanged per GS
+  double coarse_shared_nodes = 0;  ///< coarse-grid doubles per GS
+};
+
+/// Assemble the per-step workload for one rank. `ranks` sizes the
+/// reductions' log factor (taken by Machine::allreduce_time later).
+StepWorkload estimate_step_workload(const PartitionStats& part, int degree,
+                                    const SolverCounts& counts);
+
+/// Wall-time of one phase on a machine: kernels (roofline + launch) plus
+/// communication (halo messages + reductions).
+double phase_time(const Machine& machine, const PhaseCost& phase, int ranks);
+
+/// Total step time and per-phase breakdown.
+struct StepPrediction {
+  double total = 0;
+  std::map<std::string, double> phase_seconds;
+};
+StepPrediction predict_step(const Machine& machine, const StepWorkload& load,
+                            int ranks);
+
+}  // namespace felis::perfmodel

@@ -1,0 +1,78 @@
+#include "precon/hsmg.hpp"
+
+namespace felis::precon {
+
+HsmgPrecon::HsmgPrecon(const operators::Context& fine,
+                       const operators::Context& coarse, OverlapMode mode,
+                       int coarse_iterations)
+    : fine_(fine),
+      mode_(mode),
+      fdm_(fine),
+      coarse_solver_(fine, coarse, coarse_iterations) {
+  // Force the lazy inverse-multiplicity builds now, on the main thread of
+  // every rank: in task-parallel mode the coarse stream and the caller's
+  // thread would otherwise race on the first-use construction (which itself
+  // communicates).
+  fine.gs->inverse_multiplicity();
+  coarse.gs->inverse_multiplicity();
+}
+
+void HsmgPrecon::apply_fine(const RealVec& r, RealVec& z_fine) {
+  fdm_.apply(r, z_fine);
+  // Average the overlapping local solutions across element interfaces and
+  // ranks (partition-of-unity weighting).
+  fine_.gs->apply(z_fine, gs::GsOp::kAdd, fine_.prof);
+  const RealVec& w = fine_.gs->inverse_multiplicity();
+  for (usize i = 0; i < z_fine.size(); ++i) z_fine[i] *= w[i];
+}
+
+void HsmgPrecon::apply(const RealVec& r, RealVec& z) {
+  z.resize(r.size());
+  z_coarse_.resize(r.size());
+  z_fine_.resize(r.size());
+
+  if (mode_ == OverlapMode::kSerial) {
+    Profiler* prof = fine_.prof;
+    if (prof) prof->push("coarse");
+    if (trace_) {
+      trace_->timed(0, "coarse", [&] { coarse_solver_.solve(r, z_coarse_); });
+    } else {
+      coarse_solver_.solve(r, z_coarse_);
+    }
+    if (prof) {
+      prof->pop();
+      prof->push("schwarz");
+    }
+    if (trace_) {
+      trace_->timed(0, "schwarz", [&] { apply_fine(r, z_fine_); });
+    } else {
+      apply_fine(r, z_fine_);
+    }
+    if (prof) prof->pop();
+  } else {
+    // Task-parallel: coarse term on the dedicated high-priority stream,
+    // fine smoother on the caller's thread — both include their own
+    // communication (coarse: CG reductions; fine: gather-scatter), which is
+    // where the overlap pays off.
+    Profiler* prof = fine_.prof;
+    if (prof) prof->push("overlapped");
+    coarse_stream_.submit([this, &r] {
+      if (trace_) {
+        trace_->timed(1, "coarse", [&] { coarse_solver_.solve(r, z_coarse_); });
+      } else {
+        coarse_solver_.solve(r, z_coarse_);
+      }
+    });
+    if (trace_) {
+      trace_->timed(0, "schwarz", [&] { apply_fine(r, z_fine_); });
+    } else {
+      apply_fine(r, z_fine_);
+    }
+    coarse_stream_.wait();
+    if (prof) prof->pop();
+  }
+
+  for (usize i = 0; i < z.size(); ++i) z[i] = z_fine_[i] + z_coarse_[i];
+}
+
+}  // namespace felis::precon

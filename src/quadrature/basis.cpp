@@ -1,0 +1,91 @@
+#include "quadrature/basis.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/decomp.hpp"
+
+namespace felis::quadrature {
+
+RealVec barycentric_weights(const RealVec& nodes) {
+  const usize n = nodes.size();
+  FELIS_CHECK(n >= 1);
+  RealVec w(n, 1.0);
+  for (usize i = 0; i < n; ++i) {
+    for (usize j = 0; j < n; ++j) {
+      if (i == j) continue;
+      w[i] *= (nodes[i] - nodes[j]);
+    }
+    FELIS_CHECK_MSG(w[i] != 0.0, "repeated interpolation node");
+    w[i] = 1.0 / w[i];
+  }
+  return w;
+}
+
+linalg::Matrix diff_matrix(const RealVec& nodes) {
+  const lidx_t n = static_cast<lidx_t>(nodes.size());
+  const RealVec w = barycentric_weights(nodes);
+  linalg::Matrix d(n, n);
+  for (lidx_t i = 0; i < n; ++i) {
+    real_t diag = 0;
+    for (lidx_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const real_t dij = (w[static_cast<usize>(j)] / w[static_cast<usize>(i)]) /
+                         (nodes[static_cast<usize>(i)] - nodes[static_cast<usize>(j)]);
+      d(i, j) = dij;
+      diag -= dij;  // rows of D sum to zero (derivative of constants)
+    }
+    d(i, i) = diag;
+  }
+  return d;
+}
+
+linalg::Matrix interp_matrix(const RealVec& from, const RealVec& to) {
+  const lidx_t nf = static_cast<lidx_t>(from.size());
+  const lidx_t nt = static_cast<lidx_t>(to.size());
+  const RealVec w = barycentric_weights(from);
+  linalg::Matrix j(nt, nf);
+  for (lidx_t r = 0; r < nt; ++r) {
+    const real_t y = to[static_cast<usize>(r)];
+    // Exact-node hit: row is a Kronecker delta.
+    lidx_t hit = -1;
+    for (lidx_t c = 0; c < nf; ++c) {
+      if (y == from[static_cast<usize>(c)]) {
+        hit = c;
+        break;
+      }
+    }
+    if (hit >= 0) {
+      j(r, hit) = 1.0;
+      continue;
+    }
+    real_t denom = 0;
+    for (lidx_t c = 0; c < nf; ++c)
+      denom += w[static_cast<usize>(c)] / (y - from[static_cast<usize>(c)]);
+    for (lidx_t c = 0; c < nf; ++c)
+      j(r, c) = (w[static_cast<usize>(c)] / (y - from[static_cast<usize>(c)])) / denom;
+  }
+  return j;
+}
+
+linalg::Matrix modal_vandermonde(const RealVec& nodes) {
+  const lidx_t n = static_cast<lidx_t>(nodes.size());
+  linalg::Matrix v(n, n);
+  for (lidx_t i = 0; i < n; ++i) {
+    for (lidx_t jj = 0; jj < n; ++jj) {
+      const real_t scale = std::sqrt((2.0 * jj + 1.0) / 2.0);
+      v(i, jj) = scale * legendre(jj, nodes[static_cast<usize>(i)]);
+    }
+  }
+  return v;
+}
+
+ModalTransform modal_transform(const RealVec& nodes) {
+  ModalTransform t;
+  t.to_nodal = modal_vandermonde(nodes);
+  const linalg::LuFactor lu(t.to_nodal);
+  t.to_modal = lu.solve(linalg::Matrix::identity(t.to_nodal.rows()));
+  return t;
+}
+
+}  // namespace felis::quadrature

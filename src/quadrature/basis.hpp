@@ -1,0 +1,40 @@
+/// \file basis.hpp
+/// \brief Spectral operators on 1-D node sets: differentiation matrices,
+/// interpolation between node sets, and nodal↔modal Legendre transforms.
+///
+/// All 3-D element operators in felis are tensor products of these 1-D
+/// matrices (matrix-free evaluation, §5.1 of the paper). The modal transform
+/// implements eq. (2): u(x) = Σ ûᵢ φᵢ(x) with φᵢ orthonormal Legendre, and is
+/// the lossy-compression front end.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "quadrature/legendre.hpp"
+
+namespace felis::quadrature {
+
+/// Barycentric weights for Lagrange interpolation on the given nodes.
+RealVec barycentric_weights(const RealVec& nodes);
+
+/// Differentiation matrix D with (D u)_i = u'(x_i) for the Lagrange basis on
+/// `nodes`: D(i,j) = l'_j(x_i).
+linalg::Matrix diff_matrix(const RealVec& nodes);
+
+/// Interpolation matrix J with (J u)_i = u(y_i) for u in the Lagrange basis
+/// on `from` evaluated at points `to`: J is |to| × |from|.
+linalg::Matrix interp_matrix(const RealVec& from, const RealVec& to);
+
+/// Vandermonde matrix of *orthonormal* Legendre polynomials,
+/// V(i,j) = φ_j(x_i), φ_j = sqrt((2j+1)/2) P_j, for j = 0..|nodes|-1.
+/// With this normalization ∫ φ_i φ_j dx = δ_ij on [-1,1].
+linalg::Matrix modal_vandermonde(const RealVec& nodes);
+
+/// Pair of transforms between nodal values on `nodes` and orthonormal
+/// Legendre modal coefficients (exact, via inverse Vandermonde).
+struct ModalTransform {
+  linalg::Matrix to_modal;  ///< û = to_modal * u (V⁻¹)
+  linalg::Matrix to_nodal;  ///< u = to_nodal * û (V)
+};
+ModalTransform modal_transform(const RealVec& nodes);
+
+}  // namespace felis::quadrature

@@ -1,0 +1,85 @@
+#include "quadrature/legendre.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace felis::quadrature {
+
+real_t legendre(int n, real_t x) { return legendre_with_deriv(n, x).value; }
+
+LegendreEval legendre_with_deriv(int n, real_t x) {
+  FELIS_CHECK(n >= 0);
+  if (n == 0) return {1.0, 0.0};
+  real_t pm1 = 1.0;   // P_0
+  real_t p = x;       // P_1
+  for (int k = 2; k <= n; ++k) {
+    // (k) P_k = (2k-1) x P_{k-1} - (k-1) P_{k-2}
+    const real_t pk = ((2 * k - 1) * x * p - (k - 1) * pm1) / k;
+    pm1 = p;
+    p = pk;
+  }
+  // P'_n from the standard identity; at |x| = 1 use the closed form to avoid
+  // the 0/0 in the generic expression.
+  real_t dp;
+  if (std::abs(1.0 - x * x) < 1e-14) {
+    // P'_n(±1) = (±1)^{n-1} n(n+1)/2.
+    const real_t sign = (x > 0) ? 1.0 : (n % 2 == 1 ? 1.0 : -1.0);
+    dp = sign * 0.5 * n * (n + 1);
+  } else {
+    dp = n * (x * p - pm1) / (x * x - 1.0);
+  }
+  return {p, dp};
+}
+
+QuadRule gauss_legendre(int n) {
+  FELIS_CHECK(n >= 1);
+  QuadRule rule;
+  rule.points.resize(static_cast<usize>(n));
+  rule.weights.resize(static_cast<usize>(n));
+  for (int i = 0; i < n; ++i) {
+    // Chebyshev initial guess for the i-th root of P_n, refined by Newton.
+    real_t x = -std::cos(M_PI * (i + 0.75) / (n + 0.5));
+    for (int it = 0; it < 100; ++it) {
+      const LegendreEval e = legendre_with_deriv(n, x);
+      const real_t dx = -e.value / e.deriv;
+      x += dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    const LegendreEval e = legendre_with_deriv(n, x);
+    rule.points[static_cast<usize>(i)] = x;
+    rule.weights[static_cast<usize>(i)] = 2.0 / ((1.0 - x * x) * e.deriv * e.deriv);
+  }
+  return rule;
+}
+
+QuadRule gauss_lobatto_legendre(int n) {
+  FELIS_CHECK_MSG(n >= 2, "GLL rule needs at least the two endpoints");
+  const int N = n - 1;  // polynomial degree
+  QuadRule rule;
+  rule.points.resize(static_cast<usize>(n));
+  rule.weights.resize(static_cast<usize>(n));
+  rule.points.front() = -1.0;
+  rule.points.back() = 1.0;
+  // Interior points are the roots of P'_N; Newton on q(x) = P'_N(x) using
+  //   (1-x²) P''_N = 2x P'_N - N(N+1) P_N.
+  for (int i = 1; i < N; ++i) {
+    // Initial guess: Chebyshev–Lobatto nodes are excellent starts.
+    real_t x = -std::cos(M_PI * i / N);
+    for (int it = 0; it < 100; ++it) {
+      const LegendreEval e = legendre_with_deriv(N, x);
+      const real_t d2 = (2.0 * x * e.deriv - N * (N + 1.0) * e.value) / (1.0 - x * x);
+      const real_t dx = -e.deriv / d2;
+      x += dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    rule.points[static_cast<usize>(i)] = x;
+  }
+  for (int i = 0; i < n; ++i) {
+    const real_t p = legendre(N, rule.points[static_cast<usize>(i)]);
+    rule.weights[static_cast<usize>(i)] = 2.0 / (N * (N + 1.0) * p * p);
+  }
+  return rule;
+}
+
+}  // namespace felis::quadrature

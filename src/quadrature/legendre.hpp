@@ -1,0 +1,37 @@
+/// \file legendre.hpp
+/// \brief Legendre polynomials and Gauss-type quadrature rules.
+///
+/// Foundations of the spectral-element discretization: Gauss–Lobatto–Legendre
+/// (GLL) nodes carry the solution (degree N, N+1 points per direction) and
+/// Gauss–Legendre (GL) nodes carry the dealiased advection evaluation
+/// (3/2-rule overintegration, §6 of the paper).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace felis::quadrature {
+
+/// Value of the Legendre polynomial P_n at x.
+real_t legendre(int n, real_t x);
+
+/// Value and derivative of P_n at x (single recurrence pass).
+struct LegendreEval {
+  real_t value;
+  real_t deriv;
+};
+LegendreEval legendre_with_deriv(int n, real_t x);
+
+/// Quadrature rule: points ascending in [-1, 1] with matching weights.
+struct QuadRule {
+  RealVec points;
+  RealVec weights;
+};
+
+/// Gauss–Legendre rule with n points (exact for degree 2n-1).
+QuadRule gauss_legendre(int n);
+
+/// Gauss–Lobatto–Legendre rule with n points including ±1
+/// (exact for degree 2n-3).
+QuadRule gauss_lobatto_legendre(int n);
+
+}  // namespace felis::quadrature

@@ -1,0 +1,165 @@
+// Tests for the common substrate: error checks, profiler region tree,
+// parameter map, and sample statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/params.hpp"
+#include "common/profiler.hpp"
+#include "common/stats.hpp"
+
+namespace felis {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  EXPECT_NO_THROW(FELIS_CHECK(1 + 1 == 2));
+  try {
+    FELIS_CHECK_MSG(false, "context " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Profiler, NestedRegionsAccumulateTimeAndCalls) {
+  Profiler prof;
+  for (int i = 0; i < 3; ++i) {
+    auto step = prof.scope("step");
+    {
+      auto p = prof.scope("pressure");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    {
+      auto v = prof.scope("velocity");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const RegionNode* step = prof.find("step");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->calls, 3);
+  const RegionNode* pressure = prof.find("step/pressure");
+  ASSERT_NE(pressure, nullptr);
+  EXPECT_EQ(pressure->calls, 3);
+  EXPECT_GT(pressure->seconds, 0.0);
+  // Inclusive parent time covers children.
+  EXPECT_GE(step->seconds, pressure->seconds + prof.find("step/velocity")->seconds);
+  EXPECT_EQ(prof.find("step/nonexistent"), nullptr);
+}
+
+TEST(Profiler, CountersChargeCurrentRegionAndAggregate) {
+  Profiler prof;
+  {
+    auto a = prof.scope("ax");
+    prof.add_flops(100);
+    prof.add_bytes(800);
+    {
+      auto g = prof.scope("gs");
+      prof.add_message(64);
+      prof.add_message(32);
+      prof.add_reduction();
+    }
+  }
+  const RegionNode* ax = prof.find("ax");
+  ASSERT_NE(ax, nullptr);
+  EXPECT_DOUBLE_EQ(ax->counters.flops, 100);
+  const OpCounters inc = ax->inclusive_counters();
+  EXPECT_DOUBLE_EQ(inc.messages, 2);
+  EXPECT_DOUBLE_EQ(inc.msg_bytes, 96);
+  EXPECT_DOUBLE_EQ(inc.reductions, 1);
+}
+
+TEST(Profiler, ResetClearsValuesKeepsShape) {
+  Profiler prof;
+  {
+    auto a = prof.scope("x");
+    prof.add_flops(5);
+  }
+  prof.reset();
+  const RegionNode* x = prof.find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->calls, 0);
+  EXPECT_DOUBLE_EQ(x->counters.flops, 0);
+}
+
+TEST(Profiler, ReportContainsRegionNames) {
+  Profiler prof;
+  {
+    auto s = prof.scope("step");
+    auto p = prof.scope("pressure");
+  }
+  const std::string rep = prof.report();
+  EXPECT_NE(rep.find("step"), std::string::npos);
+  EXPECT_NE(rep.find("pressure"), std::string::npos);
+}
+
+TEST(Profiler, PopWithoutPushThrows) {
+  Profiler prof;
+  EXPECT_THROW(prof.pop(), Error);
+}
+
+TEST(ParamMap, ParseAndTypedAccess) {
+  const auto p = ParamMap::parse(R"(
+    # RBC case
+    case.Ra = 1e6
+    case.Pr = 0.7
+    mesh.nx = 8
+    fluid.dealias = true
+    name = rbc   # trailing comment
+  )");
+  EXPECT_DOUBLE_EQ(p.get_real("case.Ra"), 1e6);
+  EXPECT_DOUBLE_EQ(p.get_real("case.Pr"), 0.7);
+  EXPECT_EQ(p.get_int("mesh.nx"), 8);
+  EXPECT_TRUE(p.get_bool("fluid.dealias"));
+  EXPECT_EQ(p.get_string("name"), "rbc");
+}
+
+TEST(ParamMap, DefaultsAndErrors) {
+  ParamMap p;
+  p.set("a", 2.5);
+  EXPECT_DOUBLE_EQ(p.get_real("a"), 2.5);
+  EXPECT_DOUBLE_EQ(p.get_real("missing", 1.0), 1.0);
+  EXPECT_THROW(p.get_real("missing"), Error);
+  p.set("s", std::string("abc"));
+  EXPECT_THROW(p.get_real("s"), Error);
+  EXPECT_THROW(p.get_bool("s"), Error);
+  EXPECT_THROW(ParamMap::parse("no equals sign"), Error);
+}
+
+TEST(SampleStats, MomentsMatchClosedForm) {
+  SampleStats s;
+  for (const real_t x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_GT(s.ci99_halfwidth(), 0.0);
+}
+
+TEST(SampleStats, ConstantSamplesHaveZeroVariance) {
+  SampleStats s;
+  for (int i = 0; i < 10; ++i) s.add(3.25);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci99_halfwidth(), 0.0);
+}
+
+TEST(PowerFit, RecoversExactPowerLaw) {
+  // y = 0.1 x^{1/3}, the classical Nu–Ra scaling shape.
+  std::vector<real_t> x, y;
+  for (const real_t ra : {1e4, 1e5, 1e6, 1e7}) {
+    x.push_back(ra);
+    y.push_back(0.1 * std::pow(ra, 1.0 / 3.0));
+  }
+  const PowerFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(fit.prefactor, 0.1, 1e-12);
+}
+
+TEST(PowerFit, RejectsNonPositiveData) {
+  EXPECT_THROW(fit_power_law({1.0, 2.0}, {1.0, -1.0}), Error);
+}
+
+}  // namespace
+}  // namespace felis

@@ -1,0 +1,210 @@
+// Tests for the in-situ compression pipeline: bitstream and Huffman
+// primitives, modal round trips, error-bound enforcement, compression-ratio
+// behaviour on smooth vs rough fields, and curved-mesh weighting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "compression/bitstream.hpp"
+#include "compression/compressor.hpp"
+#include "field/coef.hpp"
+#include "compression/huffman.hpp"
+
+namespace felis::compression {
+namespace {
+
+TEST(BitStream, BitsRoundTrip) {
+  BitWriter w;
+  w.put_bits(0b1011001, 7);
+  w.put_bit(true);
+  w.put_bits(0xdeadbeefcafe, 48);
+  const auto bytes = w.bytes();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bits(7), 0b1011001u);
+  EXPECT_TRUE(r.get_bit());
+  EXPECT_EQ(r.get_bits(48), 0xdeadbeefcafeull);
+}
+
+TEST(BitStream, GammaRoundTrip) {
+  BitWriter w;
+  const std::vector<std::uint64_t> values = {0, 1, 2, 3, 7, 8, 100, 12345, 1u << 30};
+  for (const auto v : values) w.put_gamma(v);
+  const auto bytes = w.bytes();
+  BitReader r(bytes);
+  for (const auto v : values) EXPECT_EQ(r.get_gamma(), v);
+}
+
+TEST(BitStream, ReaderThrowsPastEnd) {
+  BitWriter w;
+  w.put_bit(true);
+  const auto bytes = w.bytes();
+  BitReader r(bytes);
+  r.get_bits(8);  // within the padded byte
+  EXPECT_THROW(r.get_bit(), Error);
+}
+
+TEST(Huffman, RoundTripsVariousInputs) {
+  std::mt19937 gen(1);
+  for (const usize size : {usize(0), usize(1), usize(3), usize(1000), usize(65536)}) {
+    std::vector<std::byte> input(size);
+    // Skewed distribution — the realistic case for quantized coefficients.
+    std::geometric_distribution<int> dist(0.3);
+    for (auto& b : input) b = static_cast<std::byte>(dist(gen) & 0xff);
+    const auto blob = huffman_encode(input);
+    const auto back = huffman_decode(blob);
+    ASSERT_EQ(back, input) << "size " << size;
+  }
+}
+
+TEST(Huffman, SingleSymbolInput) {
+  std::vector<std::byte> input(5000, std::byte{42});
+  const auto blob = huffman_encode(input);
+  EXPECT_EQ(huffman_decode(blob), input);
+  // 5000 identical bytes cost ~1 bit each plus the header.
+  EXPECT_LT(blob.size(), 1000u);
+}
+
+TEST(Huffman, CompressesSkewedData) {
+  std::mt19937 gen(2);
+  std::geometric_distribution<int> dist(0.5);
+  std::vector<std::byte> input(100000);
+  for (auto& b : input) b = static_cast<std::byte>(dist(gen) & 0x0f);
+  const auto blob = huffman_encode(input);
+  EXPECT_LT(blob.size(), input.size() / 2);
+}
+
+TEST(Huffman, AllByteValues) {
+  std::vector<std::byte> input(4096);
+  for (usize i = 0; i < input.size(); ++i)
+    input[i] = static_cast<std::byte>(i % 256);
+  EXPECT_EQ(huffman_decode(huffman_encode(input)), input);
+}
+
+struct CompressorSetup {
+  mesh::LocalMesh lmesh;
+  field::Space space;
+  field::Coef coef;
+};
+
+CompressorSetup make_setup(bool cylinder, int degree) {
+  CompressorSetup s;
+  if (cylinder) {
+    mesh::CylinderMeshConfig cfg;
+    cfg.nc = 2;
+    cfg.nr = 2;
+    cfg.nz = 3;
+    s.lmesh = mesh::distribute_mesh(mesh::make_cylinder_mesh(cfg), degree, 1).front();
+  } else {
+    mesh::BoxMeshConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = 3;
+    s.lmesh = mesh::distribute_mesh(mesh::make_box_mesh(cfg), degree, 1).front();
+  }
+  s.space = field::Space::make(degree);
+  s.coef = field::build_coef(s.lmesh, s.space, false);
+  return s;
+}
+
+TEST(CompressorTest, ModalRoundTripIsExact) {
+  const CompressorSetup s = make_setup(true, 5);
+  const Compressor comp(s.lmesh, s.space);
+  RealVec f(s.coef.x.size());
+  for (usize i = 0; i < f.size(); ++i)
+    f[i] = std::sin(3 * s.coef.x[i]) * s.coef.z[i] + s.coef.y[i];
+  RealVec modal, back;
+  comp.to_modal(f, modal);
+  comp.to_nodal(modal, back);
+  for (usize i = 0; i < f.size(); ++i) EXPECT_NEAR(back[i], f[i], 1e-11);
+}
+
+TEST(CompressorTest, SmoothFieldCompressesMassively) {
+  // A smooth field has nearly all its energy in low modes: reduction should
+  // exceed 95% at a 2.5% error bound (the paper reports 97% on real data).
+  const CompressorSetup s = make_setup(false, 7);
+  const Compressor comp(s.lmesh, s.space);
+  RealVec f(s.coef.x.size());
+  for (usize i = 0; i < f.size(); ++i)
+    f[i] = std::sin(2 * M_PI * s.coef.x[i]) * std::cos(M_PI * s.coef.y[i]) +
+           0.3 * s.coef.z[i];
+  CompressOptions opt;
+  opt.error_bound = 0.025;
+  const CompressedField c = comp.compress(f, opt);
+  EXPECT_GT(c.reduction(), 0.95);
+  const RealVec back = comp.decompress(c);
+  EXPECT_LE(comp.relative_error(f, back), opt.error_bound * 1.0001);
+}
+
+class ErrorBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(ErrorBounds, ReconstructionRespectsBound) {
+  const real_t bound = GetParam();
+  const CompressorSetup s = make_setup(true, 6);
+  const Compressor comp(s.lmesh, s.space);
+  // Rough, multi-scale field (turbulence-like spectrum).
+  std::mt19937 gen(5);
+  std::normal_distribution<real_t> noise(0.0, 1.0);
+  RealVec f(s.coef.x.size());
+  for (usize i = 0; i < f.size(); ++i) {
+    const real_t x = s.coef.x[i], y = s.coef.y[i], z = s.coef.z[i];
+    f[i] = std::sin(4 * x + 2 * y) * std::cos(5 * z) +
+           0.5 * std::sin(11 * x - 7 * z) + 0.1 * noise(gen);
+  }
+  CompressOptions opt;
+  opt.error_bound = bound;
+  const CompressedField c = comp.compress(f, opt);
+  const RealVec back = comp.decompress(c);
+  EXPECT_LE(comp.relative_error(f, back), bound * 1.0001)
+      << "reduction " << c.reduction();
+  // Tighter bounds keep more coefficients.
+  EXPECT_GT(c.retained_coefficients, 0u);
+  EXPECT_LE(c.retained_coefficients, c.total_coefficients);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, ErrorBounds,
+                         ::testing::Values(0.001, 0.01, 0.025, 0.1));
+
+TEST(CompressorTest, TighterBoundMeansLessReduction) {
+  const CompressorSetup s = make_setup(false, 6);
+  const Compressor comp(s.lmesh, s.space);
+  std::mt19937 gen(9);
+  std::normal_distribution<real_t> noise(0.0, 0.05);
+  RealVec f(s.coef.x.size());
+  for (usize i = 0; i < f.size(); ++i)
+    f[i] = std::sin(5 * s.coef.x[i]) * std::sin(3 * s.coef.y[i]) + noise(gen);
+  real_t prev_reduction = 1.0;
+  for (const real_t bound : {0.1, 0.025, 0.005, 0.0005}) {
+    CompressOptions opt;
+    opt.error_bound = bound;
+    const CompressedField c = comp.compress(f, opt);
+    EXPECT_LT(c.reduction(), prev_reduction + 1e-12) << "bound " << bound;
+    prev_reduction = c.reduction();
+  }
+}
+
+TEST(CompressorTest, ZeroFieldCompressesToAlmostNothing) {
+  const CompressorSetup s = make_setup(false, 5);
+  const Compressor comp(s.lmesh, s.space);
+  RealVec f(s.coef.x.size(), 0.0);
+  CompressOptions opt;
+  const CompressedField c = comp.compress(f, opt);
+  const RealVec back = comp.decompress(c);
+  for (const real_t v : back) EXPECT_EQ(v, 0.0);
+  EXPECT_GT(c.reduction(), 0.99);
+}
+
+TEST(CompressorTest, StatsAreConsistent) {
+  const CompressorSetup s = make_setup(true, 5);
+  const Compressor comp(s.lmesh, s.space);
+  RealVec f(s.coef.x.size());
+  for (usize i = 0; i < f.size(); ++i) f[i] = s.coef.x[i] + 2 * s.coef.z[i];
+  CompressOptions opt;
+  opt.error_bound = 0.01;
+  const CompressedField c = comp.compress(f, opt);
+  EXPECT_EQ(c.original_bytes, f.size() * sizeof(real_t));
+  EXPECT_EQ(c.compressed_bytes, c.blob.size());
+  EXPECT_EQ(c.total_coefficients, f.size());
+  EXPECT_LE(c.truncation_error, opt.error_bound);
+}
+
+}  // namespace
+}  // namespace felis::compression

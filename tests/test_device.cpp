@@ -1,0 +1,124 @@
+// Tests for the device abstraction layer: streams (ordering, concurrency,
+// wait semantics), backends, the autotuner and the trace recorder.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "device/autotune.hpp"
+#include "device/backend.hpp"
+#include "device/stream.hpp"
+
+namespace felis::device {
+namespace {
+
+TEST(StreamTest, TasksRunInSubmissionOrder) {
+  Stream stream;
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i)
+    stream.submit([&order, i] { order.push_back(i); });
+  stream.wait();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<usize>(i)], i);
+}
+
+TEST(StreamTest, WaitBlocksUntilAllDone) {
+  Stream stream;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 5; ++i)
+    stream.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    });
+  stream.wait();
+  EXPECT_EQ(done.load(), 5);
+}
+
+TEST(StreamTest, TwoStreamsRunConcurrently) {
+  // Two tasks that rendezvous: they can only complete if they truly run on
+  // different threads at the same time.
+  Stream a(1), b(0);
+  std::atomic<int> arrived{0};
+  const auto rendezvous = [&arrived] {
+    arrived.fetch_add(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (arrived.load() < 2) {
+      if (std::chrono::steady_clock::now() > deadline) return;
+      std::this_thread::yield();
+    }
+  };
+  a.submit(rendezvous);
+  b.submit(rendezvous);
+  a.wait();
+  b.wait();
+  EXPECT_EQ(arrived.load(), 2);
+  EXPECT_EQ(a.priority(), 1);
+}
+
+TEST(StreamTest, ReusableAfterWait) {
+  Stream stream;
+  int value = 0;
+  stream.submit([&value] { value = 1; });
+  stream.wait();
+  stream.submit([&value] { value = 2; });
+  stream.wait();
+  EXPECT_EQ(value, 2);
+}
+
+TEST(BackendTest, SerialAndOpenMpCoverAllIndices) {
+  for (Backend* backend :
+       std::initializer_list<Backend*>{new SerialBackend, new OpenMpBackend}) {
+    std::vector<std::atomic<int>> hits(64);
+    backend->parallel_for(64, [&hits](lidx_t i) {
+      hits[static_cast<usize>(i)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    EXPECT_FALSE(backend->name().empty());
+    delete backend;
+  }
+}
+
+TEST(BackendTest, DefaultBackendIsUsable) {
+  Backend& backend = default_backend();
+  std::atomic<lidx_t> sum{0};
+  backend.parallel_for(10, [&sum](lidx_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(Autotune, PicksTheFastestCandidate) {
+  const TuneResult result = autotune(
+      {{"slow", [] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); }},
+       {"fast", [] {}},
+       {"medium",
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }}},
+      2);
+  EXPECT_EQ(result.best_index, 1u);
+  ASSERT_EQ(result.seconds.size(), 3u);
+  EXPECT_LT(result.seconds[1], result.seconds[0]);
+}
+
+TEST(Autotune, ThrowsOnEmpty) { EXPECT_THROW(autotune({}), Error); }
+
+TEST(Trace, RecordsAndRenders) {
+  TraceRecorder trace;
+  trace.start();
+  trace.timed(0, "schwarz", [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  trace.record(1, "coarse", 0.0, 0.001);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "schwarz");
+  EXPECT_GT(events[0].t_end, events[0].t_begin);
+  const std::string timeline = trace.render(60);
+  EXPECT_NE(timeline.find("stream 0"), std::string::npos);
+  EXPECT_NE(timeline.find("stream 1"), std::string::npos);
+  EXPECT_NE(timeline.find('#'), std::string::npos);
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+}  // namespace
+}  // namespace felis::device

@@ -1,0 +1,250 @@
+// Tests for the function space, tensor kernels and geometric factors:
+// exactness of derivatives, mass-matrix volumes (box and curved cylinder),
+// metric identities and boundary normals/areas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "field/bc.hpp"
+#include "field/coef.hpp"
+#include "field/space.hpp"
+#include "mesh/partition.hpp"
+
+namespace felis::field {
+namespace {
+
+mesh::LocalMesh single_rank(const mesh::HexMesh& mesh, int degree) {
+  return mesh::distribute_mesh(mesh, degree, 1).front();
+}
+
+TEST(SpaceTest, DimsFollowThreeHalvesRule) {
+  const Space sp = Space::make(7);
+  EXPECT_EQ(sp.n, 8);
+  EXPECT_EQ(sp.nd, 12);  // ⌈3·8/2⌉
+  EXPECT_EQ(sp.nodes_per_element(), 512);
+  EXPECT_EQ(sp.dealias_nodes_per_element(), 1728);
+  EXPECT_EQ(sp.d.rows, 8);
+  EXPECT_EQ(sp.interp.rows, 12);
+  EXPECT_EQ(sp.interp.cols, 8);
+}
+
+TEST(TensorKernels, Axis0MatchesDense) {
+  const Space sp = Space::make(3);
+  const int n = sp.n;
+  RealVec u(static_cast<usize>(n * n * n));
+  for (usize i = 0; i < u.size(); ++i) u[i] = std::cos(static_cast<real_t>(i));
+  RealVec out(u.size());
+  apply_axis0(sp.d, u.data(), out.data(), n, n);
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i) {
+        real_t expect = 0;
+        for (int a = 0; a < n; ++a)
+          expect += sp.d(i, a) * u[static_cast<usize>(a + n * (j + n * k))];
+        EXPECT_NEAR(out[static_cast<usize>(i + n * (j + n * k))], expect, 1e-13);
+      }
+}
+
+TEST(TensorKernels, Axis1And2MatchDense) {
+  const Space sp = Space::make(2);
+  const int n = sp.n;
+  RealVec u(static_cast<usize>(n * n * n));
+  for (usize i = 0; i < u.size(); ++i) u[i] = std::sin(0.7 * static_cast<real_t>(i));
+  RealVec out1(u.size()), out2(u.size());
+  apply_axis1(sp.d, u.data(), out1.data(), n, n);
+  apply_axis2(sp.d, u.data(), out2.data(), n, n);
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i) {
+        real_t e1 = 0, e2 = 0;
+        for (int a = 0; a < n; ++a) {
+          e1 += sp.d(j, a) * u[static_cast<usize>(i + n * (a + n * k))];
+          e2 += sp.d(k, a) * u[static_cast<usize>(i + n * (j + n * a))];
+        }
+        EXPECT_NEAR(out1[static_cast<usize>(i + n * (j + n * k))], e1, 1e-13);
+        EXPECT_NEAR(out2[static_cast<usize>(i + n * (j + n * k))], e2, 1e-13);
+      }
+}
+
+TEST(TensorKernels, Interp3ExactForPolynomials) {
+  const Space sp = Space::make(4);
+  const int n = sp.n, m = sp.nd;
+  RealVec u(static_cast<usize>(n * n * n));
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i) {
+        const real_t x = sp.gll_pts[static_cast<usize>(i)];
+        const real_t y = sp.gll_pts[static_cast<usize>(j)];
+        const real_t z = sp.gll_pts[static_cast<usize>(k)];
+        u[static_cast<usize>(i + n * (j + n * k))] =
+            x * x * y - z * z * z + 2 * x * y * z;
+      }
+  RealVec out(static_cast<usize>(m * m * m));
+  RealVec work(static_cast<usize>(m * n * (m + n)));
+  interp3(sp.interp, u.data(), out.data(), work.data(), n, m);
+  for (int k = 0; k < m; ++k)
+    for (int j = 0; j < m; ++j)
+      for (int i = 0; i < m; ++i) {
+        const real_t x = sp.gl_pts[static_cast<usize>(i)];
+        const real_t y = sp.gl_pts[static_cast<usize>(j)];
+        const real_t z = sp.gl_pts[static_cast<usize>(k)];
+        EXPECT_NEAR(out[static_cast<usize>(i + m * (j + m * k))],
+                    x * x * y - z * z * z + 2 * x * y * z, 1e-12);
+      }
+}
+
+TEST(Coef, BoxVolumeExact) {
+  mesh::BoxMeshConfig cfg;
+  cfg.nx = 3;
+  cfg.ny = 2;
+  cfg.nz = 2;
+  cfg.lx = 2.0;
+  cfg.ly = 1.5;
+  cfg.lz = 0.5;
+  const Space sp = Space::make(4);
+  const auto lm = single_rank(mesh::make_box_mesh(cfg), 4);
+  const Coef coef = build_coef(lm, sp, false);
+  EXPECT_NEAR(coef.local_volume, 2.0 * 1.5 * 0.5, 1e-12);
+}
+
+TEST(Coef, BoxMetricsAreDiagonal) {
+  mesh::BoxMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 2;
+  const Space sp = Space::make(3);
+  const auto lm = single_rank(mesh::make_box_mesh(cfg), 3);
+  const Coef coef = build_coef(lm, sp, true);
+  // Axis-aligned bricks: dx/dr diagonal, drdx diagonal, jac constant > 0.
+  for (usize o = 0; o < coef.jac.size(); ++o) {
+    EXPECT_NEAR(coef.dxdr[1][o], 0.0, 1e-13);
+    EXPECT_NEAR(coef.dxdr[2][o], 0.0, 1e-13);
+    EXPECT_NEAR(coef.dxdr[3][o], 0.0, 1e-13);
+    EXPECT_NEAR(coef.drdx[1][o], 0.0, 1e-13);
+    EXPECT_GT(coef.jac[o], 0.0);
+    // Off-diagonal stiffness metrics vanish for bricks.
+    EXPECT_NEAR(coef.g[1][o], 0.0, 1e-13);  // g12
+    EXPECT_NEAR(coef.g[2][o], 0.0, 1e-13);  // g13
+    EXPECT_NEAR(coef.g[4][o], 0.0, 1e-13);  // g23
+  }
+}
+
+class CylinderVolume : public ::testing::TestWithParam<int> {};
+
+TEST_P(CylinderVolume, ConvergesSpectrallyToExact) {
+  // Curved-geometry quadrature: the discrete volume approaches πR²H.
+  const int N = GetParam();
+  mesh::CylinderMeshConfig cfg;
+  cfg.nc = 2;
+  cfg.nr = 2;
+  cfg.nz = 2;
+  cfg.radius = 0.5;
+  cfg.height = 1.0;
+  const Space sp = Space::make(N);
+  const auto lm = single_rank(mesh::make_cylinder_mesh(cfg), N);
+  const Coef coef = build_coef(lm, sp, false);
+  const real_t exact = M_PI * cfg.radius * cfg.radius * cfg.height;
+  const real_t rel_err = std::abs(coef.local_volume - exact) / exact;
+  // Error drops rapidly with N; generous per-order bounds.
+  const real_t bound = (N <= 3) ? 2e-3 : (N <= 5 ? 2e-5 : 1e-7);
+  EXPECT_LT(rel_err, bound) << "N=" << N << " vol=" << coef.local_volume;
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, CylinderVolume, ::testing::Values(3, 5, 7, 9));
+
+TEST(Coef, DealiasVolumeMatchesExactToo) {
+  mesh::CylinderMeshConfig cfg;
+  cfg.nc = 2;
+  cfg.nr = 2;
+  cfg.nz = 2;
+  const Space sp = Space::make(6);
+  const auto lm = single_rank(mesh::make_cylinder_mesh(cfg), 6);
+  const Coef coef = build_coef(lm, sp, true);
+  real_t vol_d = 0;
+  for (const real_t v : coef.wjac_d) vol_d += v;
+  EXPECT_NEAR(vol_d, coef.local_volume, 1e-9);
+}
+
+TEST(Coef, MinSpacingPositiveAndSmallerThanElementSize) {
+  mesh::BoxMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 4;
+  const Space sp = Space::make(7);
+  const auto lm = single_rank(mesh::make_box_mesh(cfg), 7);
+  const Coef coef = build_coef(lm, sp, false);
+  EXPECT_GT(coef.min_spacing, 0.0);
+  EXPECT_LT(coef.min_spacing, 0.25);  // < element size (GLL clustering)
+}
+
+TEST(Coef, BoundaryNormalsAndAreasBox) {
+  mesh::BoxMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 2;
+  cfg.lx = cfg.ly = cfg.lz = 1.0;
+  const Space sp = Space::make(4);
+  const auto lm = single_rank(mesh::make_box_mesh(cfg), 4);
+  const Coef coef = build_coef(lm, sp, false);
+  // Bottom plate: total area 1, normal (0,0,-1).
+  ASSERT_TRUE(coef.boundary.count(mesh::FaceTag::kBottom));
+  real_t area = 0;
+  for (const BoundaryFace& bf : coef.boundary.at(mesh::FaceTag::kBottom)) {
+    const usize fn = bf.nodes.size();
+    for (usize i = 0; i < fn; ++i) {
+      area += bf.area[i];
+      EXPECT_NEAR(bf.normal[0 * fn + i], 0.0, 1e-13);
+      EXPECT_NEAR(bf.normal[1 * fn + i], 0.0, 1e-13);
+      EXPECT_NEAR(bf.normal[2 * fn + i], -1.0, 1e-13);
+    }
+  }
+  EXPECT_NEAR(area, 1.0, 1e-12);
+}
+
+TEST(Coef, BoundaryAreaCylinderSideWall) {
+  mesh::CylinderMeshConfig cfg;
+  cfg.nc = 2;
+  cfg.nr = 2;
+  cfg.nz = 3;
+  cfg.radius = 0.5;
+  cfg.height = 1.0;
+  const Space sp = Space::make(7);
+  const auto lm = single_rank(mesh::make_cylinder_mesh(cfg), 7);
+  const Coef coef = build_coef(lm, sp, false);
+  real_t side_area = 0;
+  for (const BoundaryFace& bf : coef.boundary.at(mesh::FaceTag::kSide)) {
+    const usize fn = bf.nodes.size();
+    for (usize i = 0; i < fn; ++i) {
+      side_area += bf.area[i];
+      // Outward radial normal: n ∥ (x, y, 0) at the wall.
+      const usize o = static_cast<usize>(bf.element) *
+                          static_cast<usize>(sp.nodes_per_element()) +
+                      static_cast<usize>(bf.nodes[i]);
+      const real_t r = std::hypot(coef.x[o], coef.y[o]);
+      EXPECT_NEAR(r, cfg.radius, 1e-11);
+      // The discrete normal is that of the degree-7 isoparametric surface,
+      // not of the exact cylinder: agreement to ~1e-6 is the right order.
+      EXPECT_NEAR(bf.normal[0 * fn + i], coef.x[o] / r, 5e-6);
+      EXPECT_NEAR(bf.normal[1 * fn + i], coef.y[o] / r, 5e-6);
+      EXPECT_NEAR(bf.normal[2 * fn + i], 0.0, 5e-6);
+    }
+  }
+  EXPECT_NEAR(side_area, 2 * M_PI * cfg.radius * cfg.height, 1e-5);
+}
+
+TEST(BoundaryDofs, CountsAndMembership) {
+  mesh::BoxMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 2;
+  const int N = 3;
+  const Space sp = Space::make(N);
+  const auto lm = single_rank(mesh::make_box_mesh(cfg), N);
+  const auto bottom = boundary_dofs(lm, sp, {mesh::FaceTag::kBottom});
+  // 4 bottom elements × n² face nodes, all distinct offsets within elements.
+  EXPECT_EQ(bottom.size(), static_cast<usize>(4 * sp.n * sp.n));
+  const auto everything =
+      boundary_dofs(lm, sp, {mesh::FaceTag::kBottom, mesh::FaceTag::kTop,
+                             mesh::FaceTag::kSide});
+  EXPECT_GT(everything.size(), bottom.size());
+  RealVec f(static_cast<usize>(lm.num_local_dofs()), 1.0);
+  set_at(f, bottom, 0.0);
+  usize zeros = 0;
+  for (const real_t v : f) zeros += (v == 0.0);
+  EXPECT_EQ(zeros, bottom.size());
+}
+
+}  // namespace
+}  // namespace felis::field

@@ -1,0 +1,130 @@
+// Tests for the user body-force hook: Kolmogorov flow — sinusoidally forced
+// periodic flow with the exact steady Navier–Stokes solution
+// u = (A/(ν k²))·sin(k y) — plus time-dependent forcing bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fluid/flow_solver.hpp"
+#include "operators/setup.hpp"
+#include "precon/coarse.hpp"
+
+namespace felis::fluid {
+namespace {
+
+struct Kolmogorov {
+  operators::RankSetup fine;
+  operators::RankSetup coarse;
+  std::unique_ptr<FlowSolver> solver;
+};
+
+Kolmogorov make(comm::Communicator& comm, real_t viscosity, real_t amplitude) {
+  mesh::BoxMeshConfig box;
+  box.nx = box.ny = box.nz = 3;
+  box.lx = box.ly = box.lz = 2 * M_PI;
+  box.periodic_x = box.periodic_y = box.periodic_z = true;
+  const mesh::HexMesh mesh = make_box_mesh(box);
+  Kolmogorov k;
+  k.fine = operators::make_rank_setup(mesh, 6, comm, true);
+  k.coarse = precon::make_coarse_setup(mesh, comm);
+  FlowConfig flow;
+  flow.dt = 0.05;
+  flow.viscosity = viscosity;
+  flow.buoyancy = 0;
+  flow.solve_scalar = false;
+  flow.velocity_walls = {};
+  flow.scalar_dirichlet = {};
+  flow.forcing = [amplitude](real_t, const field::Coef& coef, RealVec& fx,
+                             RealVec& fy, RealVec& fz) {
+    (void)fz;
+    for (usize i = 0; i < fx.size(); ++i) fx[i] = amplitude * std::sin(coef.y[i]);
+    (void)fy;
+  };
+  k.solver = std::make_unique<FlowSolver>(k.fine.ctx(), k.coarse.ctx(), flow);
+  return k;
+}
+
+TEST(Forcing, KolmogorovFlowReachesAnalyticSteadyState) {
+  comm::SelfComm comm;
+  const real_t nu = 0.5, amplitude = 0.5;  // u_steady = sin(y), k = 1
+  Kolmogorov k = make(comm, nu, amplitude);
+  // Spin up from rest: the transient decays like exp(-ν k² t) = exp(-t/2).
+  for (int s = 0; s < 300; ++s) k.solver->step();
+  const operators::Context ctx = k.fine.ctx();
+  real_t err = 0;
+  const real_t u_amp = amplitude / nu;  // A/(ν k²)
+  for (usize i = 0; i < k.solver->u().size(); ++i) {
+    err = std::max(err, std::abs(k.solver->u()[i] -
+                                 u_amp * std::sin(ctx.coef->y[i])));
+    err = std::max(err, std::abs(k.solver->v()[i]));
+    err = std::max(err, std::abs(k.solver->w()[i]));
+  }
+  EXPECT_LT(err, 2e-3) << "steady Kolmogorov profile";
+}
+
+TEST(Forcing, ZeroForcingMatchesUnforcedSolver) {
+  comm::SelfComm comm;
+  Kolmogorov forced = make(comm, 0.1, 0.0);  // hook installed, zero force
+  Kolmogorov unforced = make(comm, 0.1, 0.0);
+  unforced.solver->config();  // silence unused warning path
+  // Remove the hook from `unforced`.
+  // (Rebuild without forcing to compare code paths.)
+  {
+    mesh::BoxMeshConfig box;
+    box.nx = box.ny = box.nz = 3;
+    box.lx = box.ly = box.lz = 2 * M_PI;
+    box.periodic_x = box.periodic_y = box.periodic_z = true;
+    const mesh::HexMesh mesh = make_box_mesh(box);
+    FlowConfig flow;
+    flow.dt = 0.05;
+    flow.viscosity = 0.1;
+    flow.buoyancy = 0;
+    flow.solve_scalar = false;
+    flow.velocity_walls = {};
+    flow.scalar_dirichlet = {};
+    unforced.solver = std::make_unique<FlowSolver>(unforced.fine.ctx(),
+                                                   unforced.coarse.ctx(), flow);
+  }
+  const operators::Context ctx = forced.fine.ctx();
+  for (auto* s : {forced.solver.get(), unforced.solver.get()}) {
+    RealVec& u = s->u();
+    for (usize i = 0; i < u.size(); ++i)
+      u[i] = 0.1 * std::sin(ctx.coef->x[i]) * std::cos(ctx.coef->y[i]);
+    RealVec& v = s->v();
+    for (usize i = 0; i < v.size(); ++i)
+      v[i] = -0.1 * std::cos(ctx.coef->x[i]) * std::sin(ctx.coef->y[i]);
+    for (int step = 0; step < 5; ++step) s->step();
+  }
+  for (usize i = 0; i < forced.solver->u().size(); ++i)
+    ASSERT_EQ(forced.solver->u()[i], unforced.solver->u()[i]);
+}
+
+TEST(Forcing, TimeDependentForcingSeesTheClock) {
+  comm::SelfComm comm;
+  mesh::BoxMeshConfig box;
+  box.nx = box.ny = box.nz = 3;
+  box.lx = box.ly = box.lz = 2 * M_PI;
+  box.periodic_x = box.periodic_y = box.periodic_z = true;
+  const mesh::HexMesh mesh = make_box_mesh(box);
+  auto fine = operators::make_rank_setup(mesh, 3, comm, true);
+  auto coarse = precon::make_coarse_setup(mesh, comm);
+  FlowConfig flow;
+  flow.dt = 0.01;
+  flow.viscosity = 0.1;
+  flow.buoyancy = 0;
+  flow.solve_scalar = false;
+  flow.velocity_walls = {};
+  flow.scalar_dirichlet = {};
+  std::vector<real_t> seen_times;
+  flow.forcing = [&seen_times](real_t t, const field::Coef&, RealVec&, RealVec&,
+                               RealVec&) { seen_times.push_back(t); };
+  FlowSolver solver(fine.ctx(), coarse.ctx(), flow);
+  for (int s = 0; s < 3; ++s) solver.step();
+  ASSERT_EQ(seen_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(seen_times[0], 0.0);     // forcing evaluated at t^n
+  EXPECT_DOUBLE_EQ(seen_times[1], 0.01);
+  EXPECT_DOUBLE_EQ(seen_times[2], 0.02);
+}
+
+}  // namespace
+}  // namespace felis::fluid

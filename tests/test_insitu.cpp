@@ -1,0 +1,177 @@
+// Tests for the in-situ pipeline: snapshot stream semantics (bounded,
+// blocking, close), streaming POD against direct method-of-snapshots POD,
+// weighted inner products, and the async producer/consumer end-to-end path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <random>
+#include <thread>
+
+#include "insitu/async_pod.hpp"
+#include "insitu/snapshot_stream.hpp"
+#include "insitu/streaming_pod.hpp"
+
+namespace felis::insitu {
+namespace {
+
+TEST(SnapshotStreamTest, FifoOrder) {
+  SnapshotStream stream(4);
+  stream.push({1.0});
+  stream.push({2.0});
+  stream.push({3.0});
+  EXPECT_EQ(stream.size(), 3u);
+  EXPECT_DOUBLE_EQ(stream.pop()->at(0), 1.0);
+  EXPECT_DOUBLE_EQ(stream.pop()->at(0), 2.0);
+  EXPECT_DOUBLE_EQ(stream.pop()->at(0), 3.0);
+}
+
+TEST(SnapshotStreamTest, CloseDrainsThenEnds) {
+  SnapshotStream stream(4);
+  stream.push({1.0});
+  stream.close();
+  EXPECT_TRUE(stream.closed());
+  EXPECT_TRUE(stream.pop().has_value());
+  EXPECT_FALSE(stream.pop().has_value());
+  EXPECT_FALSE(stream.push({2.0}));
+}
+
+TEST(SnapshotStreamTest, BackpressureBlocksProducer) {
+  SnapshotStream stream(2);
+  stream.push({1.0});
+  stream.push({2.0});
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    stream.push({3.0});
+    third_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());  // queue full, producer blocked
+  stream.pop();
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+std::vector<RealVec> synthetic_snapshots(usize n, usize count, int rank_hint,
+                                         unsigned seed) {
+  // Low-rank structure plus small noise: x_k = Σ_m a_m(k) φ_m + ε.
+  std::mt19937 gen(seed);
+  std::normal_distribution<real_t> noise(0.0, 1e-4);
+  std::vector<RealVec> modes(static_cast<usize>(rank_hint), RealVec(n));
+  for (usize m = 0; m < modes.size(); ++m)
+    for (usize i = 0; i < n; ++i)
+      modes[m][i] = std::sin(2 * M_PI * (m + 1) * (static_cast<real_t>(i) + 0.5) /
+                             static_cast<real_t>(n));
+  std::vector<RealVec> snaps(count, RealVec(n));
+  for (usize k = 0; k < count; ++k) {
+    for (usize i = 0; i < n; ++i) {
+      real_t v = noise(gen);
+      for (usize m = 0; m < modes.size(); ++m)
+        v += std::pow(0.4, static_cast<real_t>(m)) *
+             std::cos(0.7 * (m + 1) * static_cast<real_t>(k)) * modes[m][i];
+      snaps[k][i] = v;
+    }
+  }
+  return snaps;
+}
+
+TEST(StreamingPodTest, MatchesDirectPodSingularValues) {
+  const usize n = 120, count = 30;
+  const auto snaps = synthetic_snapshots(n, count, 3, 11);
+  const RealVec weights(n, 1.0);
+  StreamingPod pod(weights, 10);
+  for (const auto& s : snaps) pod.add_snapshot(s);
+  const DirectPod ref = direct_pod(snaps, weights, 10);
+  ASSERT_GE(pod.rank(), 3u);
+  for (usize k = 0; k < 3; ++k) {
+    EXPECT_NEAR(pod.singular_values()[k], ref.sigma[k],
+                1e-6 * ref.sigma[0])
+        << "mode " << k;
+  }
+}
+
+TEST(StreamingPodTest, ModesSpanTheSameSubspace) {
+  const usize n = 80, count = 25;
+  const auto snaps = synthetic_snapshots(n, count, 3, 3);
+  const RealVec weights(n, 1.0);
+  StreamingPod pod(weights, 8);
+  for (const auto& s : snaps) pod.add_snapshot(s);
+  const DirectPod ref = direct_pod(snaps, weights, 3);
+  // Every leading reference mode must be (almost) fully contained in the
+  // span of the streaming modes: Σ_j <ref_k, u_j>² ≈ 1.
+  for (lidx_t k = 0; k < 3; ++k) {
+    real_t captured = 0;
+    for (usize j = 0; j < pod.rank(); ++j) {
+      const RealVec mj = pod.mode(j);
+      real_t dot = 0;
+      for (usize i = 0; i < mj.size(); ++i)
+        dot += mj[i] * ref.modes(static_cast<lidx_t>(i), k);
+      captured += dot * dot;
+    }
+    EXPECT_NEAR(captured, 1.0, 1e-5) << "reference mode " << k;
+  }
+}
+
+TEST(StreamingPodTest, WeightedInnerProductOrthonormality) {
+  const usize n = 60;
+  RealVec weights(n);
+  for (usize i = 0; i < n; ++i) weights[i] = 0.5 + 0.01 * static_cast<real_t>(i);
+  const auto snaps = synthetic_snapshots(n, 20, 2, 7);
+  StreamingPod pod(weights, 5);
+  for (const auto& s : snaps) pod.add_snapshot(s);
+  ASSERT_GE(pod.rank(), 2u);
+  for (usize a = 0; a < 2; ++a) {
+    for (usize b = 0; b < 2; ++b) {
+      const RealVec ma = pod.mode(a);
+      const RealVec mb = pod.mode(b);
+      real_t dot = 0;
+      for (usize i = 0; i < n; ++i) dot += weights[i] * ma[i] * mb[i];
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(StreamingPodTest, RankStaysBounded) {
+  const usize n = 50;
+  const auto snaps = synthetic_snapshots(n, 40, 6, 23);
+  StreamingPod pod(RealVec(n, 1.0), 4);
+  for (const auto& s : snaps) pod.add_snapshot(s);
+  EXPECT_EQ(pod.rank(), 4u);
+  EXPECT_EQ(pod.snapshot_count(), 40u);
+  // Leading modes dominate: 4 modes of a rank-6 + noise stream capture most.
+  EXPECT_GT(pod.captured_energy(4), 0.95);
+  // Energies are ordered.
+  for (usize i = 1; i < pod.rank(); ++i)
+    EXPECT_GE(pod.singular_values()[i - 1], pod.singular_values()[i]);
+}
+
+TEST(StreamingPodTest, ZeroSnapshotIsHarmless) {
+  StreamingPod pod(RealVec(10, 1.0), 3);
+  pod.add_snapshot(RealVec(10, 0.0));
+  EXPECT_EQ(pod.rank(), 0u);
+  pod.add_snapshot(RealVec(10, 1.0));
+  EXPECT_EQ(pod.rank(), 1u);
+}
+
+TEST(AsyncPodTest, MatchesSynchronousResult) {
+  const usize n = 64, count = 20;
+  const auto snaps = synthetic_snapshots(n, count, 3, 31);
+  const RealVec weights(n, 1.0);
+
+  StreamingPod sync(weights, 6);
+  for (const auto& s : snaps) sync.add_snapshot(s);
+
+  SnapshotStream stream(3);
+  AsyncPod async(stream, weights, 6);
+  for (const auto& s : snaps) ASSERT_TRUE(stream.push(s));
+  StreamingPod& result = async.finish();
+
+  ASSERT_EQ(result.rank(), sync.rank());
+  for (usize k = 0; k < result.rank(); ++k)
+    EXPECT_NEAR(result.singular_values()[k], sync.singular_values()[k],
+                1e-12 * sync.singular_values()[0]);
+  EXPECT_EQ(result.snapshot_count(), count);
+}
+
+}  // namespace
+}  // namespace felis::insitu

@@ -1,0 +1,206 @@
+// Tests for dense linear algebra: matrix ops, LU, Cholesky, symmetric and
+// generalized eigensolvers, one-sided Jacobi SVD.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/decomp.hpp"
+#include "linalg/matrix.hpp"
+
+namespace felis::linalg {
+namespace {
+
+Matrix random_matrix(lidx_t m, lidx_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<real_t> dist(-1.0, 1.0);
+  Matrix a(m, n);
+  for (lidx_t j = 0; j < n; ++j)
+    for (lidx_t i = 0; i < m; ++i) a(i, j) = dist(gen);
+  return a;
+}
+
+Matrix random_spd(lidx_t n, unsigned seed) {
+  const Matrix a = random_matrix(n, n, seed);
+  Matrix spd = matmul_tn(a, a);
+  for (lidx_t i = 0; i < n; ++i) spd(i, i) += static_cast<real_t>(n);
+  return spd;
+}
+
+TEST(Matrix, FromRowsAndIndexing) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_DOUBLE_EQ(a(0, 1), 2);
+  EXPECT_DOUBLE_EQ(a(1, 2), 6);
+  const Matrix at = a.transposed();
+  EXPECT_DOUBLE_EQ(at(2, 1), 6);
+}
+
+TEST(Matrix, MatmulAgainstHandComputed) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+  const Matrix ctn = matmul_tn(a, b);  // AᵀB
+  EXPECT_DOUBLE_EQ(ctn(0, 0), 1 * 5 + 3 * 7);
+}
+
+TEST(Matrix, MatvecAndTranspose) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const RealVec y = matvec(a, {1, 1, 1});
+  EXPECT_DOUBLE_EQ(y[0], 6);
+  EXPECT_DOUBLE_EQ(y[1], 15);
+  const RealVec z = matvec_t(a, {1, 1});
+  EXPECT_DOUBLE_EQ(z[0], 5);
+  EXPECT_DOUBLE_EQ(z[2], 9);
+}
+
+TEST(Lu, SolvesRandomSystems) {
+  for (const unsigned seed : {1u, 2u, 3u}) {
+    const lidx_t n = 17;
+    Matrix a = random_matrix(n, n, seed);
+    for (lidx_t i = 0; i < n; ++i) a(i, i) += 5.0;  // well-conditioned
+    const RealVec x_ref = [&] {
+      RealVec v(static_cast<usize>(n));
+      for (usize i = 0; i < v.size(); ++i) v[i] = std::sin(static_cast<real_t>(i));
+      return v;
+    }();
+    const RealVec b = matvec(a, x_ref);
+    const LuFactor lu(a);
+    const RealVec x = lu.solve(b);
+    for (usize i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-11);
+  }
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  const Matrix a = Matrix::from_rows({{0, 1}, {1, 0}});
+  const LuFactor lu(a);
+  const RealVec x = lu.solve(RealVec{2, 3});
+  EXPECT_DOUBLE_EQ(x[0], 3);
+  EXPECT_DOUBLE_EQ(x[1], 2);
+  EXPECT_NEAR(lu.det(), -1.0, 1e-14);
+}
+
+TEST(Lu, ThrowsOnSingular) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {2, 4}});
+  EXPECT_THROW(LuFactor{a}, Error);
+}
+
+TEST(Cholesky, SolveAndRejectIndefinite) {
+  const Matrix spd = random_spd(12, 7);
+  const CholeskyFactor chol(spd);
+  RealVec x_ref(12);
+  for (usize i = 0; i < x_ref.size(); ++i) x_ref[i] = static_cast<real_t>(i) - 5.0;
+  const RealVec b = matvec(spd, x_ref);
+  const RealVec x = chol.solve(b);
+  for (usize i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-10);
+
+  const Matrix indef = Matrix::from_rows({{1, 2}, {2, 1}});
+  EXPECT_THROW(CholeskyFactor{indef}, Error);
+}
+
+TEST(EigSym, DiagonalizesKnownMatrix) {
+  // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+  const Matrix a = Matrix::from_rows({{2, 1}, {1, 2}});
+  const EigenSym e = eig_sym(a);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-13);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-13);
+}
+
+TEST(EigSym, ReconstructsRandomSymmetric) {
+  const lidx_t n = 20;
+  Matrix a = random_matrix(n, n, 11);
+  for (lidx_t j = 0; j < n; ++j)
+    for (lidx_t i = 0; i < j; ++i) a(i, j) = a(j, i);
+  const EigenSym e = eig_sym(a);
+  // Check A V = V diag(λ) column by column and orthonormality of V.
+  for (lidx_t j = 0; j < n; ++j) {
+    RealVec v(e.vectors.col(j), e.vectors.col(j) + n);
+    const RealVec av = matvec(a, v);
+    for (lidx_t i = 0; i < n; ++i)
+      EXPECT_NEAR(av[static_cast<usize>(i)],
+                  e.values[static_cast<usize>(j)] * v[static_cast<usize>(i)], 1e-10);
+  }
+  const Matrix vtv = matmul_tn(e.vectors, e.vectors);
+  for (lidx_t j = 0; j < n; ++j)
+    for (lidx_t i = 0; i < n; ++i)
+      EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-12);
+  // Eigenvalues ascending.
+  for (usize i = 1; i < e.values.size(); ++i)
+    EXPECT_LE(e.values[i - 1], e.values[i] + 1e-14);
+}
+
+TEST(EigSymGeneralized, BOrthonormalAndResidualSmall) {
+  const lidx_t n = 14;
+  Matrix a = random_matrix(n, n, 3);
+  for (lidx_t j = 0; j < n; ++j)
+    for (lidx_t i = 0; i < j; ++i) a(i, j) = a(j, i);
+  const Matrix b = random_spd(n, 5);
+  const EigenSym e = eig_sym_generalized(a, b);
+  // VᵀBV = I (the FDM requirement).
+  const Matrix bv = matmul(b, e.vectors);
+  const Matrix vtbv = matmul_tn(e.vectors, bv);
+  for (lidx_t j = 0; j < n; ++j)
+    for (lidx_t i = 0; i < n; ++i)
+      EXPECT_NEAR(vtbv(i, j), i == j ? 1.0 : 0.0, 1e-10);
+  // A v = λ B v.
+  for (lidx_t j = 0; j < n; ++j) {
+    RealVec v(e.vectors.col(j), e.vectors.col(j) + n);
+    const RealVec av = matvec(a, v);
+    const RealVec bvj = matvec(b, v);
+    for (lidx_t i = 0; i < n; ++i)
+      EXPECT_NEAR(av[static_cast<usize>(i)],
+                  e.values[static_cast<usize>(j)] * bvj[static_cast<usize>(i)], 1e-9);
+  }
+}
+
+TEST(SvdTest, KnownSingularValues) {
+  // A = diag(3, 2) embedded in a 3×2 matrix.
+  const Matrix a = Matrix::from_rows({{3, 0}, {0, 2}, {0, 0}});
+  const Svd s = svd(a);
+  ASSERT_EQ(s.sigma.size(), 2u);
+  EXPECT_NEAR(s.sigma[0], 3.0, 1e-13);
+  EXPECT_NEAR(s.sigma[1], 2.0, 1e-13);
+}
+
+TEST(SvdTest, ReconstructsRandomMatrix) {
+  const lidx_t m = 25, n = 10;
+  const Matrix a = random_matrix(m, n, 17);
+  const Svd s = svd(a);
+  // A ≈ U diag(σ) Vᵀ.
+  Matrix usv(m, n);
+  for (lidx_t j = 0; j < n; ++j)
+    for (lidx_t i = 0; i < m; ++i) {
+      real_t sum = 0;
+      for (lidx_t k = 0; k < n; ++k)
+        sum += s.u(i, k) * s.sigma[static_cast<usize>(k)] * s.v(j, k);
+      usv(i, j) = sum;
+    }
+  for (lidx_t j = 0; j < n; ++j)
+    for (lidx_t i = 0; i < m; ++i) EXPECT_NEAR(usv(i, j), a(i, j), 1e-10);
+  // Orthonormal columns of U and V.
+  const Matrix utu = matmul_tn(s.u, s.u);
+  const Matrix vtv = matmul_tn(s.v, s.v);
+  for (lidx_t j = 0; j < n; ++j)
+    for (lidx_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(utu(i, j), i == j ? 1.0 : 0.0, 1e-11);
+      EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-11);
+    }
+  // Descending singular values.
+  for (usize i = 1; i < s.sigma.size(); ++i) EXPECT_GE(s.sigma[i - 1], s.sigma[i]);
+}
+
+TEST(SvdTest, RankDeficientMatrix) {
+  // Two identical columns: one singular value must vanish.
+  const Matrix a = Matrix::from_rows({{1, 1}, {2, 2}, {3, 3}});
+  const Svd s = svd(a);
+  EXPECT_NEAR(s.sigma[1], 0.0, 1e-12);
+  EXPECT_NEAR(s.sigma[0], std::sqrt(28.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace felis::linalg

@@ -1,0 +1,304 @@
+// Tests for mesh generation (box, periodic box, curved cylinder), global GLL
+// numbering and RCB partitioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "mesh/hex_mesh.hpp"
+#include "mesh/numbering.hpp"
+#include "mesh/partition.hpp"
+#include "quadrature/legendre.hpp"
+
+namespace felis::mesh {
+namespace {
+
+TEST(GridPoints, UniformAndChebyshevEndpoints) {
+  for (const Grading g : {Grading::kUniform, Grading::kChebyshev, Grading::kGeometric}) {
+    const RealVec pts = grid_points(6, -1.0, 2.5, g);
+    ASSERT_EQ(pts.size(), 7u);
+    EXPECT_DOUBLE_EQ(pts.front(), -1.0);
+    EXPECT_DOUBLE_EQ(pts.back(), 2.5);
+    for (usize i = 1; i < pts.size(); ++i) EXPECT_LT(pts[i - 1], pts[i]);
+  }
+}
+
+TEST(GridPoints, ChebyshevClustersTowardEnds) {
+  const RealVec pts = grid_points(8, 0.0, 1.0, Grading::kChebyshev);
+  const real_t end_spacing = pts[1] - pts[0];
+  const real_t mid_spacing = pts[4] - pts[3];
+  EXPECT_LT(end_spacing, mid_spacing);
+  // Symmetric: same clustering at the far end.
+  EXPECT_NEAR(end_spacing, pts[8] - pts[7], 1e-12);
+}
+
+TEST(BoxMesh, ElementAndVertexCounts) {
+  BoxMeshConfig cfg;
+  cfg.nx = 3;
+  cfg.ny = 4;
+  cfg.nz = 5;
+  const HexMesh mesh = make_box_mesh(cfg);
+  EXPECT_EQ(mesh.num_elements(), 60);
+  EXPECT_EQ(mesh.num_vertices(), 4 * 5 * 6);
+}
+
+TEST(BoxMesh, PeriodicIdentificationReducesVertices) {
+  BoxMeshConfig cfg;
+  cfg.nx = 4;
+  cfg.ny = 4;
+  cfg.nz = 4;
+  cfg.periodic_x = true;
+  cfg.periodic_y = true;
+  const HexMesh mesh = make_box_mesh(cfg);
+  EXPECT_EQ(mesh.num_vertices(), 4 * 4 * 5);
+  // Wrapped elements reference the x=0 vertices.
+  const auto& verts_last = mesh.element_vertices(3);  // element (3,0,0)
+  const auto& verts_first = mesh.element_vertices(0);
+  EXPECT_EQ(verts_last[1], verts_first[0]);
+}
+
+TEST(BoxMesh, PeriodicTooSmallThrows) {
+  BoxMeshConfig cfg;
+  cfg.nx = 2;
+  cfg.periodic_x = true;
+  EXPECT_THROW(make_box_mesh(cfg), Error);
+}
+
+TEST(BoxMesh, FaceTagsOnBoundariesOnly) {
+  BoxMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 3;
+  const HexMesh mesh = make_box_mesh(cfg);
+  int tagged = 0;
+  for (lidx_t e = 0; e < mesh.num_elements(); ++e)
+    for (int f = 0; f < kFacesPerElement; ++f)
+      if (mesh.face_tag(e, f) != FaceTag::kInterior) ++tagged;
+  // 6 sides × 9 faces each.
+  EXPECT_EQ(tagged, 54);
+  // The central element has no boundary faces.
+  const lidx_t center = 1 + 3 * (1 + 3 * 1);
+  for (int f = 0; f < kFacesPerElement; ++f)
+    EXPECT_EQ(mesh.face_tag(center, f), FaceTag::kInterior);
+}
+
+TEST(CylinderMesh, SideWallLiesOnCircle) {
+  CylinderMeshConfig cfg;
+  cfg.nc = 3;
+  cfg.nr = 2;
+  cfg.nz = 4;
+  cfg.radius = 0.7;
+  cfg.height = 2.0;
+  const HexMesh mesh = make_cylinder_mesh(cfg);
+  EXPECT_EQ(mesh.num_elements(), cfg.disk_elements() * cfg.nz);
+  int side_faces = 0;
+  for (lidx_t e = 0; e < mesh.num_elements(); ++e) {
+    for (int f = 0; f < kFacesPerElement; ++f) {
+      if (mesh.face_tag(e, f) != FaceTag::kSide) continue;
+      ++side_faces;
+      EXPECT_EQ(f, 1);  // the r=+1 (outer blend) face of outermost rings
+      const ElementMap& map = mesh.element_map(e);
+      for (const real_t s : {-1.0, -0.3, 0.4, 1.0}) {
+        for (const real_t t : {-1.0, 0.0, 0.7}) {
+          const Point p = map.map(+1.0, s, t);
+          EXPECT_NEAR(std::hypot(p[0], p[1]), cfg.radius, 1e-12);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(side_faces, 4 * cfg.nc * cfg.nz);  // perimeter sectors x nz
+}
+
+TEST(CylinderMesh, OGridInterfacesAreConforming) {
+  // Geometric conformity across the whole o-grid (ring-ring, ring-center,
+  // corner sectors): any two elements sharing a GLL node id (topological)
+  // must produce identical physical coordinates — checked via numbering at
+  // degree 5.
+  CylinderMeshConfig cfg;
+  cfg.nc = 2;
+  cfg.nr = 3;
+  cfg.nz = 2;
+  const HexMesh mesh = make_cylinder_mesh(cfg);
+  const int N = 5;
+  const GlobalNumbering num = build_numbering(mesh, N);
+  const quadrature::QuadRule gll = quadrature::gauss_lobatto_legendre(N + 1);
+  std::map<gidx_t, Point> seen;
+  const int n = N + 1;
+  int shared_checks = 0;
+  for (lidx_t e = 0; e < mesh.num_elements(); ++e) {
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) {
+          const gidx_t id = num.id(e, i, j, k);
+          const Point p = mesh.element_map(e).map(gll.points[static_cast<usize>(i)],
+                                                  gll.points[static_cast<usize>(j)],
+                                                  gll.points[static_cast<usize>(k)]);
+          const auto [it, inserted] = seen.emplace(id, p);
+          if (!inserted) {
+            ++shared_checks;
+            for (int d = 0; d < 3; ++d)
+              ASSERT_NEAR(it->second[static_cast<usize>(d)], p[static_cast<usize>(d)], 1e-12)
+                  << "element " << e;
+          }
+        }
+  }
+  EXPECT_GT(shared_checks, 1000);
+}
+
+TEST(CylinderMesh, JacobianPositiveEverywhere) {
+  CylinderMeshConfig cfg;
+  cfg.nc = 3;
+  cfg.nr = 3;
+  cfg.nz = 3;
+  const HexMesh mesh = make_cylinder_mesh(cfg);
+  // Finite-difference Jacobian sign check at sample points of every element.
+  const real_t h = 1e-6;
+  for (lidx_t e = 0; e < mesh.num_elements(); ++e) {
+    const ElementMap& map = mesh.element_map(e);
+    for (const real_t r : {-0.99, -0.5, 0.0, 0.5, 0.99}) {
+      for (const real_t s : {-0.99, -0.5, 0.0, 0.5, 0.99}) {
+        const Point pr0 = map.map(r - h, s, 0), pr1 = map.map(r + h, s, 0);
+        const Point ps0 = map.map(r, s - h, 0), ps1 = map.map(r, s + h, 0);
+        const real_t xr = (pr1[0] - pr0[0]) / (2 * h), yr = (pr1[1] - pr0[1]) / (2 * h);
+        const real_t xs = (ps1[0] - ps0[0]) / (2 * h), ys = (ps1[1] - ps0[1]) / (2 * h);
+        EXPECT_GT(xr * ys - xs * yr, 0.0) << "element " << e;
+      }
+    }
+  }
+}
+
+TEST(Numbering, CountsMatchClosedFormForBox) {
+  // For a non-periodic nx×ny×nz box at degree N, distinct GLL nodes are
+  // (nx·N+1)(ny·N+1)(nz·N+1).
+  for (const int N : {1, 2, 4, 7}) {
+    BoxMeshConfig cfg;
+    cfg.nx = 3;
+    cfg.ny = 2;
+    cfg.nz = 2;
+    const HexMesh mesh = make_box_mesh(cfg);
+    const GlobalNumbering num = build_numbering(mesh, N);
+    EXPECT_EQ(num.num_global_nodes,
+              static_cast<gidx_t>(3 * N + 1) * (2 * N + 1) * (2 * N + 1))
+        << "N=" << N;
+  }
+}
+
+TEST(Numbering, PeriodicCountsMatchClosedForm) {
+  const int N = 3;
+  BoxMeshConfig cfg;
+  cfg.nx = 4;
+  cfg.ny = 3;
+  cfg.nz = 3;
+  cfg.periodic_x = true;
+  cfg.periodic_y = true;
+  cfg.periodic_z = true;
+  const HexMesh mesh = make_box_mesh(cfg);
+  const GlobalNumbering num = build_numbering(mesh, N);
+  EXPECT_EQ(num.num_global_nodes, static_cast<gidx_t>(4 * N) * (3 * N) * (3 * N));
+}
+
+TEST(Numbering, SharedNodesHaveConsistentCoordinates) {
+  // Two nodes with the same global id must have the same physical position
+  // (except across periodic boundaries). Checked on the curved cylinder.
+  CylinderMeshConfig cfg;
+  cfg.nc = 2;
+  cfg.nr = 2;
+  cfg.nz = 3;
+  const HexMesh mesh = make_cylinder_mesh(cfg);
+  const int N = 4;
+  const GlobalNumbering num = build_numbering(mesh, N);
+  const quadrature::QuadRule gll = quadrature::gauss_lobatto_legendre(N + 1);
+  std::map<gidx_t, Point> seen;
+  const int n = N + 1;
+  for (lidx_t e = 0; e < mesh.num_elements(); ++e) {
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) {
+          const gidx_t id = num.id(e, i, j, k);
+          const Point p = mesh.element_map(e).map(gll.points[static_cast<usize>(i)],
+                                                  gll.points[static_cast<usize>(j)],
+                                                  gll.points[static_cast<usize>(k)]);
+          const auto [it, inserted] = seen.emplace(id, p);
+          if (!inserted) {
+            for (int d = 0; d < 3; ++d)
+              ASSERT_NEAR(it->second[static_cast<usize>(d)], p[static_cast<usize>(d)], 1e-11)
+                  << "element " << e << " node " << i << "," << j << "," << k;
+          }
+        }
+  }
+  EXPECT_EQ(static_cast<gidx_t>(seen.size()), num.num_global_nodes);
+}
+
+TEST(Numbering, MultiplicityCountsAreTopologicallyCorrect) {
+  // In a 2×2×2 box the central vertex is shared by 8 elements; face nodes by
+  // 2; interior nodes by 1.
+  BoxMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 2;
+  const HexMesh mesh = make_box_mesh(cfg);
+  const int N = 3;
+  const GlobalNumbering num = build_numbering(mesh, N);
+  std::map<gidx_t, int> mult;
+  for (const gidx_t id : num.node_ids) ++mult[id];
+  std::map<int, int> hist;
+  for (const auto& [id, m] : mult) ++hist[m];
+  // Multiplicity 8: exactly the central vertex.
+  EXPECT_EQ(hist[8], 1);
+  // Multiplicity 1: the 8 element interiors, the interiors of the 24 hull
+  // faces, the interiors of the 24 outer (box-corner) edges, and the 8 box
+  // corner vertices — all of which belong to a single element.
+  EXPECT_EQ(hist[1], 8 * (N - 1) * (N - 1) * (N - 1) + 24 * (N - 1) * (N - 1) +
+                         24 * (N - 1) + 8);
+  // Total distinct nodes match the closed form (2N+1)³.
+  gidx_t total = 0;
+  for (const auto& [m, count] : hist) total += count;
+  EXPECT_EQ(total, num.num_global_nodes);
+  EXPECT_EQ(num.num_global_nodes,
+            static_cast<gidx_t>(2 * N + 1) * (2 * N + 1) * (2 * N + 1));
+}
+
+TEST(Partition, RcbBalancedAndComplete) {
+  BoxMeshConfig cfg;
+  cfg.nx = 5;
+  cfg.ny = 4;
+  cfg.nz = 3;
+  const HexMesh mesh = make_box_mesh(cfg);
+  for (const int nranks : {1, 2, 3, 4, 7, 8}) {
+    const std::vector<int> ranks = partition_rcb(mesh, nranks);
+    std::vector<int> counts(static_cast<usize>(nranks), 0);
+    for (const int r : ranks) {
+      ASSERT_GE(r, 0);
+      ASSERT_LT(r, nranks);
+      ++counts[static_cast<usize>(r)];
+    }
+    const int total = mesh.num_elements();
+    for (const int c : counts) {
+      EXPECT_GE(c, total / nranks - 1);
+      EXPECT_LE(c, total / nranks + 2);
+    }
+  }
+}
+
+TEST(Partition, SplitMeshPreservesEverything) {
+  BoxMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 3;
+  const HexMesh mesh = make_box_mesh(cfg);
+  const int N = 2;
+  const GlobalNumbering num = build_numbering(mesh, N);
+  const auto locals = distribute_mesh(mesh, N, 4);
+  ASSERT_EQ(locals.size(), 4u);
+  lidx_t total_elems = 0;
+  std::set<gidx_t> all_gids;
+  for (const auto& lm : locals) {
+    EXPECT_EQ(lm.degree, N);
+    EXPECT_EQ(lm.num_global_nodes, num.num_global_nodes);
+    total_elems += lm.num_elements();
+    for (const gidx_t g : lm.element_gids) all_gids.insert(g);
+    EXPECT_EQ(lm.node_ids.size(),
+              static_cast<usize>(lm.num_elements()) *
+                  static_cast<usize>(lm.nodes_per_element()));
+  }
+  EXPECT_EQ(total_elems, mesh.num_elements());
+  EXPECT_EQ(static_cast<lidx_t>(all_gids.size()), mesh.num_elements());
+}
+
+}  // namespace
+}  // namespace felis::mesh

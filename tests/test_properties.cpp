@@ -1,0 +1,528 @@
+// Cross-module property tests: parameterized invariant sweeps that tie the
+// subsystems together — operator algebra across polynomial degrees and both
+// mesh families, gather-scatter idempotency, solver cross-checks (CG vs
+// GMRES vs batched/modified Gram-Schmidt), compression monotonicity,
+// communicator stress, and model sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "compression/compressor.hpp"
+#include "field/coef.hpp"
+#include "krylov/cg.hpp"
+#include "krylov/gmres.hpp"
+#include "operators/setup.hpp"
+#include "perfmodel/scaling.hpp"
+#include "precon/coarse.hpp"
+#include "perfmodel/precon_schedule.hpp"
+#include "precon/fdm.hpp"
+
+namespace felis {
+namespace {
+
+using operators::Context;
+
+struct MeshCase {
+  bool cylinder;
+  int degree;
+};
+
+std::string case_name(const ::testing::TestParamInfo<MeshCase>& info) {
+  return std::string(info.param.cylinder ? "cylinder" : "box") + "N" +
+         std::to_string(info.param.degree);
+}
+
+mesh::HexMesh make_mesh(bool cylinder) {
+  if (cylinder) {
+    mesh::CylinderMeshConfig cfg;
+    cfg.nc = 2;
+    cfg.nr = 2;
+    cfg.nz = 2;
+    return make_cylinder_mesh(cfg);
+  }
+  mesh::BoxMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 2;
+  return make_box_mesh(cfg);
+}
+
+class OperatorAlgebra : public ::testing::TestWithParam<MeshCase> {};
+
+TEST_P(OperatorAlgebra, StiffnessAnnihilatesConstants) {
+  comm::SelfComm comm;
+  const auto s = operators::make_rank_setup(make_mesh(GetParam().cylinder),
+                                            GetParam().degree, comm, false);
+  const Context ctx = s.ctx();
+  RealVec u(ctx.num_dofs(), -3.7), out(ctx.num_dofs());
+  operators::ax_helmholtz(ctx, u, out, 1.0, 0.0);
+  for (const real_t v : out) ASSERT_NEAR(v, 0.0, 1e-10);
+}
+
+TEST_P(OperatorAlgebra, HelmholtzIsLinear) {
+  comm::SelfComm comm;
+  const auto s = operators::make_rank_setup(make_mesh(GetParam().cylinder),
+                                            GetParam().degree, comm, false);
+  const Context ctx = s.ctx();
+  std::mt19937 gen(42);
+  std::uniform_real_distribution<real_t> dist(-1, 1);
+  RealVec a(ctx.num_dofs()), b(ctx.num_dofs());
+  for (usize i = 0; i < a.size(); ++i) {
+    a[i] = dist(gen);
+    b[i] = dist(gen);
+  }
+  RealVec la(ctx.num_dofs()), lb(ctx.num_dofs()), lab(ctx.num_dofs()),
+      combo(ctx.num_dofs());
+  operators::ax_helmholtz(ctx, a, la, 0.3, 2.0);
+  operators::ax_helmholtz(ctx, b, lb, 0.3, 2.0);
+  for (usize i = 0; i < a.size(); ++i) combo[i] = 2 * a[i] - 5 * b[i];
+  operators::ax_helmholtz(ctx, combo, lab, 0.3, 2.0);
+  for (usize i = 0; i < a.size(); ++i)
+    ASSERT_NEAR(lab[i], 2 * la[i] - 5 * lb[i],
+                1e-10 * (std::abs(lab[i]) + 1));
+}
+
+TEST_P(OperatorAlgebra, GradOfConstantVanishes) {
+  comm::SelfComm comm;
+  const auto s = operators::make_rank_setup(make_mesh(GetParam().cylinder),
+                                            GetParam().degree, comm, false);
+  const Context ctx = s.ctx();
+  RealVec u(ctx.num_dofs(), 9.5), dx(ctx.num_dofs()), dy(ctx.num_dofs()),
+      dz(ctx.num_dofs());
+  operators::grad(ctx, u, dx, dy, dz);
+  for (usize i = 0; i < u.size(); ++i) {
+    ASSERT_NEAR(dx[i], 0.0, 1e-11);
+    ASSERT_NEAR(dy[i], 0.0, 1e-11);
+    ASSERT_NEAR(dz[i], 0.0, 1e-11);
+  }
+}
+
+TEST_P(OperatorAlgebra, DivWeakOfConstantVectorIsPureSurfaceTerm) {
+  // (∇φ_i, c) summed over all i = ∮ c·n = 0 for a closed domain.
+  comm::SelfComm comm;
+  const auto s = operators::make_rank_setup(make_mesh(GetParam().cylinder),
+                                            GetParam().degree, comm, false);
+  const Context ctx = s.ctx();
+  RealVec cx(ctx.num_dofs(), 1.0), cy(ctx.num_dofs(), -2.0),
+      cz(ctx.num_dofs(), 0.5), out(ctx.num_dofs());
+  operators::div_weak(ctx, cx, cy, cz, out);
+  real_t total = 0;
+  for (const real_t v : out) total += v;
+  EXPECT_NEAR(total, 0.0, 1e-10);
+}
+
+TEST_P(OperatorAlgebra, UnweightedAdditiveSchwarzIsSymmetric) {
+  // The plain additive Schwarz operator z = gs(FDM(r)) (Σ RᵀÃ⁻¹R) is
+  // symmetric in the unique-dof inner product because each element solve is
+  // S Λ⁻¹ Sᵀ. (HSMG applies an extra 1/multiplicity averaging — the
+  // restricted/weighted variant, deliberately nonsymmetric and paired with
+  // flexible GMRES.)
+  comm::SelfComm comm;
+  const auto s = operators::make_rank_setup(make_mesh(GetParam().cylinder),
+                                            GetParam().degree, comm, false);
+  const Context ctx = s.ctx();
+  const precon::FdmSolver fdm(ctx);
+  std::mt19937 gen(7);
+  std::uniform_real_distribution<real_t> dist(-1, 1);
+  RealVec r1(ctx.num_dofs()), r2(ctx.num_dofs());
+  for (usize i = 0; i < r1.size(); ++i) {
+    r1[i] = dist(gen);
+    r2[i] = dist(gen);
+  }
+  // Assembled residual-like inputs.
+  ctx.gs->apply(r1, gs::GsOp::kAdd);
+  ctx.gs->apply(r2, gs::GsOp::kAdd);
+  const auto apply = [&](const RealVec& r) {
+    RealVec z(ctx.num_dofs());
+    fdm.apply(r, z);
+    ctx.gs->apply(z, gs::GsOp::kAdd);
+    return z;
+  };
+  const RealVec z1 = apply(r1);
+  const RealVec z2 = apply(r2);
+  const real_t a = operators::gdot(ctx, z1, r2);
+  const real_t b = operators::gdot(ctx, z2, r1);
+  EXPECT_NEAR(a, b, 1e-9 * (std::abs(a) + 1));
+}
+
+TEST_P(OperatorAlgebra, DiagonalIsPositive) {
+  comm::SelfComm comm;
+  const auto s = operators::make_rank_setup(make_mesh(GetParam().cylinder),
+                                            GetParam().degree, comm, false);
+  const Context ctx = s.ctx();
+  for (const real_t v : operators::diag_helmholtz(ctx, 1.0, 0.5))
+    ASSERT_GT(v, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshesAndOrders, OperatorAlgebra,
+                         ::testing::Values(MeshCase{false, 2}, MeshCase{false, 4},
+                                           MeshCase{false, 7}, MeshCase{true, 2},
+                                           MeshCase{true, 4}, MeshCase{true, 6}),
+                         case_name);
+
+class AdvectorProps : public ::testing::TestWithParam<MeshCase> {};
+
+TEST_P(AdvectorProps, ZeroVelocityGivesZeroConvection) {
+  comm::SelfComm comm;
+  const auto s = operators::make_rank_setup(make_mesh(GetParam().cylinder),
+                                            GetParam().degree, comm, true);
+  const Context ctx = s.ctx();
+  operators::Advector adv(ctx);
+  const RealVec zero(ctx.num_dofs(), 0.0);
+  adv.set_velocity(zero, zero, zero);
+  RealVec u(ctx.num_dofs());
+  for (usize i = 0; i < u.size(); ++i) u[i] = ctx.coef->x[i] * ctx.coef->y[i];
+  RealVec out(ctx.num_dofs(), 0.0);
+  adv.apply(u, out, 1.0);
+  for (const real_t v : out) ASSERT_NEAR(v, 0.0, 1e-13);
+}
+
+TEST_P(AdvectorProps, LinearInTransportedField) {
+  comm::SelfComm comm;
+  const auto s = operators::make_rank_setup(make_mesh(GetParam().cylinder),
+                                            GetParam().degree, comm, true);
+  const Context ctx = s.ctx();
+  operators::Advector adv(ctx);
+  RealVec cx(ctx.num_dofs(), 1.0), cy(ctx.num_dofs(), 0.3), cz(ctx.num_dofs(), -1.0);
+  adv.set_velocity(cx, cy, cz);
+  RealVec a(ctx.num_dofs()), b(ctx.num_dofs());
+  for (usize i = 0; i < a.size(); ++i) {
+    a[i] = std::sin(2 * ctx.coef->x[i]);
+    b[i] = ctx.coef->z[i] * ctx.coef->z[i];
+  }
+  RealVec oa(ctx.num_dofs(), 0.0), ob(ctx.num_dofs(), 0.0), oab(ctx.num_dofs(), 0.0);
+  adv.apply(a, oa, 1.0);
+  adv.apply(b, ob, 1.0);
+  RealVec ab(ctx.num_dofs());
+  for (usize i = 0; i < a.size(); ++i) ab[i] = 3 * a[i] + 4 * b[i];
+  adv.apply(ab, oab, 1.0);
+  for (usize i = 0; i < a.size(); ++i)
+    ASSERT_NEAR(oab[i], 3 * oa[i] + 4 * ob[i], 1e-10 * (std::abs(oab[i]) + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshesAndOrders, AdvectorProps,
+                         ::testing::Values(MeshCase{false, 3}, MeshCase{true, 4},
+                                           MeshCase{true, 6}),
+                         case_name);
+
+TEST(GsIdempotency, AveragingTwiceEqualsOnce) {
+  comm::SelfComm comm;
+  const auto s = operators::make_rank_setup(make_mesh(true), 4, comm, false);
+  const Context ctx = s.ctx();
+  std::mt19937 gen(5);
+  std::uniform_real_distribution<real_t> dist(-1, 1);
+  RealVec f(ctx.num_dofs());
+  for (real_t& v : f) v = dist(gen);
+  const auto average = [&](RealVec x) {
+    ctx.gs->apply(x, gs::GsOp::kAdd);
+    const RealVec& w = ctx.gs->inverse_multiplicity();
+    for (usize i = 0; i < x.size(); ++i) x[i] *= w[i];
+    return x;
+  };
+  const RealVec once = average(f);
+  const RealVec twice = average(once);
+  for (usize i = 0; i < f.size(); ++i) ASSERT_NEAR(twice[i], once[i], 1e-12);
+}
+
+TEST(GsIdempotency, MinMaxAreIdempotent) {
+  comm::SelfComm comm;
+  const auto s = operators::make_rank_setup(make_mesh(false), 3, comm, false);
+  const Context ctx = s.ctx();
+  std::mt19937 gen(9);
+  std::uniform_real_distribution<real_t> dist(-1, 1);
+  for (const gs::GsOp op : {gs::GsOp::kMin, gs::GsOp::kMax}) {
+    RealVec f(ctx.num_dofs());
+    for (real_t& v : f) v = dist(gen);
+    RealVec once = f;
+    ctx.gs->apply(once, op);
+    RealVec twice = once;
+    ctx.gs->apply(twice, op);
+    for (usize i = 0; i < f.size(); ++i) ASSERT_EQ(twice[i], once[i]);
+  }
+}
+
+TEST(MeanRemoval, BothProjectionsAreIdempotent) {
+  comm::SelfComm comm;
+  const auto s = operators::make_rank_setup(make_mesh(true), 3, comm, false);
+  const Context ctx = s.ctx();
+  RealVec f(ctx.num_dofs());
+  for (usize i = 0; i < f.size(); ++i) f[i] = ctx.coef->x[i] + 3.0;
+  RealVec a = f;
+  operators::remove_mean(ctx, a);
+  RealVec b = a;
+  operators::remove_mean(ctx, b);
+  for (usize i = 0; i < f.size(); ++i) ASSERT_NEAR(b[i], a[i], 1e-13);
+  RealVec c = f;
+  operators::remove_null_component(ctx, c);
+  RealVec d = c;
+  operators::remove_null_component(ctx, d);
+  for (usize i = 0; i < f.size(); ++i) ASSERT_NEAR(d[i], c[i], 1e-13);
+}
+
+TEST(SolverCrossChecks, CgAndGmresAgreeOnSpdSystem) {
+  comm::SelfComm comm;
+  const auto s = operators::make_rank_setup(make_mesh(false), 5, comm, false);
+  const Context ctx = s.ctx();
+  const auto mask = krylov::make_mask(
+      ctx, {mesh::FaceTag::kBottom, mesh::FaceTag::kTop, mesh::FaceTag::kSide});
+  krylov::HelmholtzOperator op(ctx, 1.0, 3.0, mask);
+  krylov::JacobiPrecon pc(operators::diag_helmholtz(ctx, 1.0, 3.0));
+  RealVec b(ctx.num_dofs());
+  for (usize i = 0; i < b.size(); ++i)
+    b[i] = ctx.coef->mass[i] * std::sin(5 * ctx.coef->x[i]) * ctx.coef->z[i];
+  ctx.gs->apply(b, gs::GsOp::kAdd);
+  krylov::apply_mask(b, mask);
+  krylov::SolveControl control;
+  control.abs_tol = 1e-12;
+  control.max_iterations = 400;
+  RealVec x_cg(ctx.num_dofs(), 0.0), x_gm(ctx.num_dofs(), 0.0);
+  const auto s1 = krylov::CgSolver(ctx).solve(op, pc, b, x_cg, control);
+  const auto s2 = krylov::GmresSolver(ctx, 40).solve(op, pc, b, x_gm, control);
+  EXPECT_TRUE(s1.converged);
+  EXPECT_TRUE(s2.converged);
+  for (usize i = 0; i < x_cg.size(); ++i)
+    ASSERT_NEAR(x_cg[i], x_gm[i], 1e-8 * (std::abs(x_cg[i]) + 1));
+}
+
+TEST(SolverCrossChecks, BatchedAndModifiedGramSchmidtAgree) {
+  comm::SelfComm comm;
+  const auto s = operators::make_rank_setup(make_mesh(true), 4, comm, false);
+  const Context ctx = s.ctx();
+  krylov::HelmholtzOperator op(ctx, 1.0, 0.0, {});
+  krylov::JacobiPrecon pc(operators::diag_helmholtz(ctx, 1.0, 0.0));
+  RealVec b(ctx.num_dofs());
+  for (usize i = 0; i < b.size(); ++i)
+    b[i] = ctx.coef->mass[i] * (std::cos(3 * ctx.coef->z[i]) + ctx.coef->x[i]);
+  ctx.gs->apply(b, gs::GsOp::kAdd);
+  krylov::SolveControl control;
+  control.abs_tol = 1e-10;
+  control.max_iterations = 400;
+  RealVec x1(ctx.num_dofs(), 0.0), x2(ctx.num_dofs(), 0.0);
+  const auto r1 = krylov::GmresSolver(ctx, 30, true).solve(op, pc, b, x1, control, true);
+  const auto r2 = krylov::GmresSolver(ctx, 30, false).solve(op, pc, b, x2, control, true);
+  EXPECT_TRUE(r1.converged);
+  EXPECT_TRUE(r2.converged);
+  operators::remove_mean(ctx, x1);
+  operators::remove_mean(ctx, x2);
+  for (usize i = 0; i < x1.size(); ++i)
+    ASSERT_NEAR(x1[i], x2[i], 1e-7 * (std::abs(x1[i]) + 1));
+}
+
+class MultiRankCylinder : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiRankCylinder, PoissonOnCurvedMeshMatchesSerial) {
+  const int nranks = GetParam();
+  mesh::CylinderMeshConfig cfg;
+  cfg.nc = 2;
+  cfg.nr = 2;
+  cfg.nz = 4;
+  const mesh::HexMesh mesh = make_cylinder_mesh(cfg);
+  // Serial reference.
+  RealVec ref;
+  {
+    comm::SelfComm comm;
+    const auto s = operators::make_rank_setup(mesh, 4, comm, false);
+    const Context ctx = s.ctx();
+    const auto mask = krylov::make_mask(
+        ctx, {mesh::FaceTag::kBottom, mesh::FaceTag::kTop, mesh::FaceTag::kSide});
+    krylov::HelmholtzOperator op(ctx, 1.0, 1.0, mask);
+    krylov::JacobiPrecon pc(operators::diag_helmholtz(ctx, 1.0, 1.0));
+    RealVec b(ctx.num_dofs());
+    for (usize i = 0; i < b.size(); ++i)
+      b[i] = ctx.coef->mass[i] * std::sin(4 * ctx.coef->z[i]);
+    ctx.gs->apply(b, gs::GsOp::kAdd);
+    krylov::apply_mask(b, mask);
+    RealVec x(ctx.num_dofs(), 0.0);
+    krylov::SolveControl control;
+    control.abs_tol = 1e-12;
+    control.max_iterations = 500;
+    krylov::CgSolver(ctx).solve(op, pc, b, x, control);
+    ref = x;
+  }
+  // Distributed: compare via global element ids.
+  const auto locals = mesh::distribute_mesh(mesh, 4, nranks);
+  comm::run_parallel(nranks, [&](comm::Communicator& comm) {
+    const auto s = operators::make_rank_setup(mesh, 4, comm, false);
+    const Context ctx = s.ctx();
+    const auto mask = krylov::make_mask(
+        ctx, {mesh::FaceTag::kBottom, mesh::FaceTag::kTop, mesh::FaceTag::kSide});
+    krylov::HelmholtzOperator op(ctx, 1.0, 1.0, mask);
+    krylov::JacobiPrecon pc(operators::diag_helmholtz(ctx, 1.0, 1.0));
+    RealVec b(ctx.num_dofs());
+    for (usize i = 0; i < b.size(); ++i)
+      b[i] = ctx.coef->mass[i] * std::sin(4 * ctx.coef->z[i]);
+    ctx.gs->apply(b, gs::GsOp::kAdd);
+    krylov::apply_mask(b, mask);
+    RealVec x(ctx.num_dofs(), 0.0);
+    krylov::SolveControl control;
+    control.abs_tol = 1e-12;
+    control.max_iterations = 500;
+    krylov::CgSolver(ctx).solve(op, pc, b, x, control);
+    const lidx_t npe = s.lmesh.nodes_per_element();
+    for (lidx_t e = 0; e < s.lmesh.num_elements(); ++e) {
+      const gidx_t ge = s.lmesh.element_gids[static_cast<usize>(e)];
+      for (lidx_t q = 0; q < npe; ++q)
+        ASSERT_NEAR(x[static_cast<usize>(e * npe + q)],
+                    ref[static_cast<usize>(ge * npe + q)], 1e-9);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MultiRankCylinder, ::testing::Values(2, 4, 6));
+
+class CompressionDegrees : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressionDegrees, RoundTripRespectsBoundAcrossOrders) {
+  const int degree = GetParam();
+  comm::SelfComm comm;
+  const auto s = operators::make_rank_setup(make_mesh(true), degree, comm, false);
+  const compression::Compressor comp(s.lmesh, s.space);
+  RealVec f(s.coef.x.size());
+  std::mt19937 gen(degree);
+  std::normal_distribution<real_t> noise(0.0, 0.2);
+  for (usize i = 0; i < f.size(); ++i)
+    f[i] = std::sin(6 * s.coef.x[i]) + noise(gen);
+  compression::CompressOptions opt;
+  opt.error_bound = 0.02;
+  const compression::CompressedField c = comp.compress(f, opt);
+  const RealVec back = comp.decompress(c);
+  EXPECT_LE(comp.relative_error(f, back), opt.error_bound * 1.0001);
+  EXPECT_GT(c.reduction(), 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, CompressionDegrees, ::testing::Values(2, 3, 5, 7, 8));
+
+TEST(CommStress, ManyRoundsOfMixedTraffic) {
+  comm::run_parallel(5, [&](comm::Communicator& comm) {
+    std::mt19937 gen(static_cast<unsigned>(comm.rank()) * 7 + 1);
+    for (int round = 0; round < 30; ++round) {
+      // All-pairs messages of varying sizes (deterministic per sender).
+      for (int dst = 0; dst < comm.size(); ++dst) {
+        if (dst == comm.rank()) continue;
+        const usize len = static_cast<usize>(1 + (comm.rank() * 13 + round * 7 + dst) % 64);
+        std::vector<gidx_t> payload(len, comm.rank() * 1000 + round);
+        comm.send_vec(dst, 700 + round, payload);
+      }
+      for (int src = 0; src < comm.size(); ++src) {
+        if (src == comm.rank()) continue;
+        const auto got = comm.recv_vec<gidx_t>(src, 700 + round);
+        ASSERT_FALSE(got.empty());
+        ASSERT_EQ(got.front(), src * 1000 + round);
+      }
+      // Interleaved collective.
+      real_t v = 1.0;
+      comm.allreduce(&v, 1, comm::ReduceOp::kSum);
+      ASSERT_EQ(v, comm.size());
+    }
+  });
+}
+
+TEST(ModelSanity, MoreElementsCostMoreMoreRanksCostLessEach) {
+  using namespace perfmodel;
+  const Machine lumi = make_lumi();
+  const ProductionMesh mesh = paper_production_mesh();
+  ScalingOptions options;
+  const double t8k = predict_with_overlap(lumi, mesh, 8192, options).total;
+  const double t16k = predict_with_overlap(lumi, mesh, 16384, options).total;
+  EXPECT_GT(t8k, t16k);
+  // Doubling the mesh roughly doubles the per-rank time at a fixed count.
+  ProductionMesh bigger = mesh;
+  bigger.layers *= 2;
+  const double t_big = predict_with_overlap(lumi, bigger, 8192, options).total;
+  EXPECT_GT(t_big, 1.5 * t8k);
+  EXPECT_LT(t_big, 2.5 * t8k);
+}
+
+TEST(PartitionDeterminism, RcbIsReproducible) {
+  const mesh::HexMesh mesh = make_mesh(true);
+  const auto a = mesh::partition_rcb(mesh, 5);
+  const auto b = mesh::partition_rcb(mesh, 5);
+  EXPECT_EQ(a, b);
+}
+
+class CylinderFamilies : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CylinderFamilies, VolumeConvergesForAllOGridShapes) {
+  const auto [nc, nr] = GetParam();
+  mesh::CylinderMeshConfig cfg;
+  cfg.nc = nc;
+  cfg.nr = nr;
+  cfg.nz = 2;
+  cfg.radius = 0.5;
+  const mesh::HexMesh mesh = make_cylinder_mesh(cfg);
+  const auto lm = mesh::distribute_mesh(mesh, 7, 1).front();
+  const field::Space sp = field::Space::make(7);
+  const field::Coef coef = field::build_coef(lm, sp, false);
+  const real_t exact = M_PI * 0.25;
+  EXPECT_NEAR(coef.local_volume, exact, 2e-6 * exact)
+      << "nc=" << nc << " nr=" << nr;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CylinderFamilies,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 1},
+                                           std::pair{2, 3}, std::pair{3, 2},
+                                           std::pair{4, 4}));
+
+TEST(CoarseGridConsistency, DegreeOneNumberingCountsVerticesExactly) {
+  // The coarse space of the HSMG preconditioner is the degree-1 numbering on
+  // the same mesh: its distinct node count must equal the vertex count for
+  // every mesh family (periodic boxes identify wrap-around vertices).
+  {
+    mesh::CylinderMeshConfig cfg;
+    cfg.nc = 3;
+    cfg.nr = 2;
+    cfg.nz = 3;
+    const mesh::HexMesh mesh = make_cylinder_mesh(cfg);
+    const mesh::GlobalNumbering num = build_numbering(mesh, 1);
+    EXPECT_EQ(num.num_global_nodes, mesh.num_vertices());
+  }
+  {
+    mesh::BoxMeshConfig cfg;
+    cfg.nx = 3;
+    cfg.ny = 4;
+    cfg.nz = 3;
+    cfg.periodic_x = true;
+    const mesh::HexMesh mesh = make_box_mesh(cfg);
+    const mesh::GlobalNumbering num = build_numbering(mesh, 1);
+    EXPECT_EQ(num.num_global_nodes, mesh.num_vertices());
+  }
+}
+
+class ScheduleMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleMonotonicity, OverlapNeverSlowerThanSerial) {
+  using namespace perfmodel;
+  const double elements = GetParam();
+  const Machine leo = make_leonardo();
+  PartitionStats part;
+  part.local_elements = elements;
+  part.neighbors = 2;
+  part.shared_nodes = 2 * 400 * 64;
+  part.coarse_shared_nodes = 2 * 400 * 4;
+  const PreconSchedule sched =
+      build_precon_schedule(leo, elements, 7, 10, 4, part);
+  const SimResult serial = simulate_streams(sched.serial, sched.launch_latency);
+  const SimResult parallel =
+      simulate_streams(sched.parallel, sched.launch_latency);
+  EXPECT_LE(parallel.makespan, serial.makespan * 1.0001) << elements;
+  // Device-busy totals are identical: overlap reschedules, never re-computes.
+  EXPECT_NEAR(serial.device_busy[0],
+              parallel.device_busy[0] + parallel.device_busy[1],
+              1e-12 * serial.device_busy[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(ElementCounts, ScheduleMonotonicity,
+                         ::testing::Values(1000, 7000, 30000, 100000));
+
+TEST(SpaceVariants, AliasedSpaceCollocatesOnGll) {
+  const field::Space sp = field::Space::make(5, false);
+  EXPECT_EQ(sp.nd, sp.n);
+  for (int i = 0; i < sp.n; ++i)
+    EXPECT_DOUBLE_EQ(sp.gl_pts[static_cast<usize>(i)], sp.gll_pts[static_cast<usize>(i)]);
+  // Interpolation collapses to the identity.
+  for (int r = 0; r < sp.n; ++r)
+    for (int c = 0; c < sp.n; ++c)
+      EXPECT_NEAR(sp.interp(r, c), r == c ? 1.0 : 0.0, 1e-13);
+}
+
+}  // namespace
+}  // namespace felis

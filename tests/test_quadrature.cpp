@@ -1,0 +1,181 @@
+// Tests for Legendre polynomials, GL/GLL quadrature rules, differentiation /
+// interpolation matrices and the modal (compression) transform.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "quadrature/basis.hpp"
+#include "quadrature/legendre.hpp"
+
+namespace felis::quadrature {
+namespace {
+
+TEST(Legendre, LowOrderClosedForms) {
+  for (const real_t x : {-0.9, -0.3, 0.0, 0.5, 1.0}) {
+    EXPECT_NEAR(legendre(0, x), 1.0, 1e-15);
+    EXPECT_NEAR(legendre(1, x), x, 1e-15);
+    EXPECT_NEAR(legendre(2, x), 0.5 * (3 * x * x - 1), 1e-14);
+    EXPECT_NEAR(legendre(3, x), 0.5 * (5 * x * x * x - 3 * x), 1e-14);
+  }
+}
+
+TEST(Legendre, DerivativeMatchesFiniteDifference) {
+  const real_t h = 1e-6;
+  for (const int n : {2, 5, 9}) {
+    for (const real_t x : {-0.7, 0.1, 0.8}) {
+      const real_t fd = (legendre(n, x + h) - legendre(n, x - h)) / (2 * h);
+      EXPECT_NEAR(legendre_with_deriv(n, x).deriv, fd, 1e-7);
+    }
+  }
+}
+
+TEST(Legendre, EndpointDerivativeClosedForm) {
+  for (const int n : {1, 2, 3, 6, 7}) {
+    EXPECT_NEAR(legendre_with_deriv(n, 1.0).deriv, 0.5 * n * (n + 1), 1e-12);
+    const real_t sign = (n % 2 == 1) ? 1.0 : -1.0;
+    EXPECT_NEAR(legendre_with_deriv(n, -1.0).deriv, sign * 0.5 * n * (n + 1), 1e-12);
+  }
+}
+
+class QuadRuleExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadRuleExactness, GaussLegendreExactForDegree2nMinus1) {
+  const int n = GetParam();
+  const QuadRule rule = gauss_legendre(n);
+  // ∫_{-1}^{1} x^k dx = 2/(k+1) for even k, 0 for odd.
+  for (int k = 0; k <= 2 * n - 1; ++k) {
+    real_t integral = 0;
+    for (usize i = 0; i < rule.points.size(); ++i)
+      integral += rule.weights[i] * std::pow(rule.points[i], k);
+    const real_t exact = (k % 2 == 0) ? 2.0 / (k + 1) : 0.0;
+    EXPECT_NEAR(integral, exact, 1e-12) << "n=" << n << " k=" << k;
+  }
+}
+
+TEST_P(QuadRuleExactness, GaussLobattoExactForDegree2nMinus3) {
+  const int n = GetParam();
+  if (n < 2) return;
+  const QuadRule rule = gauss_lobatto_legendre(n);
+  EXPECT_DOUBLE_EQ(rule.points.front(), -1.0);
+  EXPECT_DOUBLE_EQ(rule.points.back(), 1.0);
+  for (int k = 0; k <= 2 * n - 3; ++k) {
+    real_t integral = 0;
+    for (usize i = 0; i < rule.points.size(); ++i)
+      integral += rule.weights[i] * std::pow(rule.points[i], k);
+    const real_t exact = (k % 2 == 0) ? 2.0 / (k + 1) : 0.0;
+    EXPECT_NEAR(integral, exact, 1e-12) << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, QuadRuleExactness,
+                         ::testing::Values(2, 3, 4, 6, 8, 12, 16));
+
+TEST(QuadRuleTest, PointsAscendAndWeightsPositive) {
+  for (const int n : {3, 8, 13}) {
+    for (const QuadRule& rule : {gauss_legendre(n), gauss_lobatto_legendre(n)}) {
+      for (usize i = 1; i < rule.points.size(); ++i)
+        EXPECT_LT(rule.points[i - 1], rule.points[i]);
+      for (const real_t w : rule.weights) EXPECT_GT(w, 0.0);
+    }
+  }
+}
+
+TEST(DiffMatrix, ExactForPolynomials) {
+  const int n = 8;  // degree 7, the paper's production order
+  const QuadRule gll = gauss_lobatto_legendre(n);
+  const linalg::Matrix d = diff_matrix(gll.points);
+  // d/dx of x^5 = 5x^4 is degree-4, exactly representable.
+  RealVec u(gll.points.size()), du_exact(gll.points.size());
+  for (usize i = 0; i < u.size(); ++i) {
+    u[i] = std::pow(gll.points[i], 5);
+    du_exact[i] = 5 * std::pow(gll.points[i], 4);
+  }
+  const RealVec du = linalg::matvec(d, u);
+  for (usize i = 0; i < du.size(); ++i) EXPECT_NEAR(du[i], du_exact[i], 1e-11);
+}
+
+TEST(DiffMatrix, RowsSumToZero) {
+  const QuadRule gll = gauss_lobatto_legendre(10);
+  const linalg::Matrix d = diff_matrix(gll.points);
+  for (lidx_t i = 0; i < d.rows(); ++i) {
+    real_t row = 0;
+    for (lidx_t j = 0; j < d.cols(); ++j) row += d(i, j);
+    EXPECT_NEAR(row, 0.0, 1e-12);
+  }
+}
+
+TEST(InterpMatrix, ReproducesPolynomialsOnFinerGrid) {
+  const QuadRule coarse = gauss_lobatto_legendre(6);
+  const QuadRule fine = gauss_legendre(9);  // 3/2-rule style target
+  const linalg::Matrix j = interp_matrix(coarse.points, fine.points);
+  RealVec u(coarse.points.size());
+  for (usize i = 0; i < u.size(); ++i)
+    u[i] = 1.0 + coarse.points[i] - 2.0 * std::pow(coarse.points[i], 4);
+  const RealVec uf = linalg::matvec(j, u);
+  for (usize i = 0; i < uf.size(); ++i) {
+    const real_t x = fine.points[i];
+    EXPECT_NEAR(uf[i], 1.0 + x - 2.0 * std::pow(x, 4), 1e-12);
+  }
+}
+
+TEST(InterpMatrix, IdentityOnSameNodes) {
+  const QuadRule gll = gauss_lobatto_legendre(7);
+  const linalg::Matrix j = interp_matrix(gll.points, gll.points);
+  for (lidx_t r = 0; r < j.rows(); ++r)
+    for (lidx_t c = 0; c < j.cols(); ++c)
+      EXPECT_NEAR(j(r, c), r == c ? 1.0 : 0.0, 1e-13);
+}
+
+TEST(InterpMatrix, RowsSumToOne) {
+  // Partition of unity: interpolation of the constant function is exact.
+  const QuadRule gll = gauss_lobatto_legendre(8);
+  const QuadRule gl = gauss_legendre(12);
+  const linalg::Matrix j = interp_matrix(gll.points, gl.points);
+  for (lidx_t r = 0; r < j.rows(); ++r) {
+    real_t row = 0;
+    for (lidx_t c = 0; c < j.cols(); ++c) row += j(r, c);
+    EXPECT_NEAR(row, 1.0, 1e-13);
+  }
+}
+
+TEST(ModalTransform, RoundTripAndParseval) {
+  const QuadRule gll = gauss_lobatto_legendre(8);
+  const ModalTransform t = modal_transform(gll.points);
+  RealVec u(gll.points.size());
+  for (usize i = 0; i < u.size(); ++i)
+    u[i] = std::sin(3.0 * gll.points[i]) + 0.5 * gll.points[i];
+  const RealVec u_hat = linalg::matvec(t.to_modal, u);
+  const RealVec u_back = linalg::matvec(t.to_nodal, u_hat);
+  for (usize i = 0; i < u.size(); ++i) EXPECT_NEAR(u_back[i], u[i], 1e-12);
+}
+
+TEST(ModalTransform, SingleModeMapsToUnitCoefficient) {
+  const QuadRule gll = gauss_lobatto_legendre(7);
+  const ModalTransform t = modal_transform(gll.points);
+  // Nodal samples of φ_4 must transform to e_4.
+  RealVec u(gll.points.size());
+  const real_t scale = std::sqrt((2.0 * 4 + 1.0) / 2.0);
+  for (usize i = 0; i < u.size(); ++i) u[i] = scale * legendre(4, gll.points[i]);
+  const RealVec u_hat = linalg::matvec(t.to_modal, u);
+  for (usize k = 0; k < u_hat.size(); ++k)
+    EXPECT_NEAR(u_hat[k], k == 4 ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(ModalTransform, OrthonormalityViaFineQuadrature) {
+  // ∫ φ_i φ_j dx = δ_ij using an exact Gauss rule.
+  const int n = 6;
+  const QuadRule gl = gauss_legendre(2 * n);
+  const linalg::Matrix v = modal_vandermonde(gl.points);  // φ_j at GL points
+  for (lidx_t a = 0; a < n; ++a) {
+    for (lidx_t b = 0; b < n; ++b) {
+      real_t integral = 0;
+      for (lidx_t q = 0; q < static_cast<lidx_t>(gl.points.size()); ++q)
+        integral += gl.weights[static_cast<usize>(q)] * v(q, a) * v(q, b);
+      EXPECT_NEAR(integral, a == b ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace felis::quadrature

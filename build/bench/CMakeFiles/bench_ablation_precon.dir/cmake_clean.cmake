@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_precon.dir/bench_ablation_precon.cpp.o"
+  "CMakeFiles/bench_ablation_precon.dir/bench_ablation_precon.cpp.o.d"
+  "bench_ablation_precon"
+  "bench_ablation_precon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_precon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_insitu_pod.dir/bench_insitu_pod.cpp.o"
+  "CMakeFiles/bench_insitu_pod.dir/bench_insitu_pod.cpp.o.d"
+  "bench_insitu_pod"
+  "bench_insitu_pod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_insitu_pod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nu_ra_scaling.dir/bench_nu_ra_scaling.cpp.o"
+  "CMakeFiles/bench_nu_ra_scaling.dir/bench_nu_ra_scaling.cpp.o.d"
+  "bench_nu_ra_scaling"
+  "bench_nu_ra_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nu_ra_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_insitu.dir/compression_insitu.cpp.o"
+  "CMakeFiles/compression_insitu.dir/compression_insitu.cpp.o.d"
+  "compression_insitu"
+  "compression_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

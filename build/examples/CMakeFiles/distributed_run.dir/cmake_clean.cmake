@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_run.dir/distributed_run.cpp.o"
+  "CMakeFiles/distributed_run.dir/distributed_run.cpp.o.d"
+  "distributed_run"
+  "distributed_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

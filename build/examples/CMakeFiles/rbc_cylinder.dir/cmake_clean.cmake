@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_cylinder.dir/rbc_cylinder.cpp.o"
+  "CMakeFiles/rbc_cylinder.dir/rbc_cylinder.cpp.o.d"
+  "rbc_cylinder"
+  "rbc_cylinder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_cylinder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

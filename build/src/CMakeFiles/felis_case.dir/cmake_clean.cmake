@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_case.dir/case/rbc.cpp.o"
+  "CMakeFiles/felis_case.dir/case/rbc.cpp.o.d"
+  "libfelis_case.a"
+  "libfelis_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

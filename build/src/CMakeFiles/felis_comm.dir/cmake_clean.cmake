@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_comm.dir/comm/comm.cpp.o"
+  "CMakeFiles/felis_comm.dir/comm/comm.cpp.o.d"
+  "libfelis_comm.a"
+  "libfelis_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_common.dir/common/logger.cpp.o"
+  "CMakeFiles/felis_common.dir/common/logger.cpp.o.d"
+  "CMakeFiles/felis_common.dir/common/params.cpp.o"
+  "CMakeFiles/felis_common.dir/common/params.cpp.o.d"
+  "CMakeFiles/felis_common.dir/common/profiler.cpp.o"
+  "CMakeFiles/felis_common.dir/common/profiler.cpp.o.d"
+  "libfelis_common.a"
+  "libfelis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_compression.dir/compression/compressor.cpp.o"
+  "CMakeFiles/felis_compression.dir/compression/compressor.cpp.o.d"
+  "CMakeFiles/felis_compression.dir/compression/huffman.cpp.o"
+  "CMakeFiles/felis_compression.dir/compression/huffman.cpp.o.d"
+  "libfelis_compression.a"
+  "libfelis_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

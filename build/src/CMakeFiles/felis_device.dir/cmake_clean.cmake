@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_device.dir/device/backend.cpp.o"
+  "CMakeFiles/felis_device.dir/device/backend.cpp.o.d"
+  "CMakeFiles/felis_device.dir/device/stream.cpp.o"
+  "CMakeFiles/felis_device.dir/device/stream.cpp.o.d"
+  "libfelis_device.a"
+  "libfelis_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_field.dir/field/bc.cpp.o"
+  "CMakeFiles/felis_field.dir/field/bc.cpp.o.d"
+  "CMakeFiles/felis_field.dir/field/coef.cpp.o"
+  "CMakeFiles/felis_field.dir/field/coef.cpp.o.d"
+  "CMakeFiles/felis_field.dir/field/space.cpp.o"
+  "CMakeFiles/felis_field.dir/field/space.cpp.o.d"
+  "libfelis_field.a"
+  "libfelis_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

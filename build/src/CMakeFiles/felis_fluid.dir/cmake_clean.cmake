@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_fluid.dir/fluid/checkpoint.cpp.o"
+  "CMakeFiles/felis_fluid.dir/fluid/checkpoint.cpp.o.d"
+  "CMakeFiles/felis_fluid.dir/fluid/flow_solver.cpp.o"
+  "CMakeFiles/felis_fluid.dir/fluid/flow_solver.cpp.o.d"
+  "libfelis_fluid.a"
+  "libfelis_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

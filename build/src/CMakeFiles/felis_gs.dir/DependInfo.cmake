@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gs/gather_scatter.cpp" "src/CMakeFiles/felis_gs.dir/gs/gather_scatter.cpp.o" "gcc" "src/CMakeFiles/felis_gs.dir/gs/gather_scatter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/felis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_quadrature.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_gs.dir/gs/gather_scatter.cpp.o"
+  "CMakeFiles/felis_gs.dir/gs/gather_scatter.cpp.o.d"
+  "libfelis_gs.a"
+  "libfelis_gs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_gs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

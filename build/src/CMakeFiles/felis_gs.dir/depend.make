@@ -1,0 +1,2 @@
+# Empty dependencies file for felis_gs.
+# This may be replaced when dependencies are built.

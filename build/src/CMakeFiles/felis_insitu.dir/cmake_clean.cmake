@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_insitu.dir/insitu/snapshot_stream.cpp.o"
+  "CMakeFiles/felis_insitu.dir/insitu/snapshot_stream.cpp.o.d"
+  "CMakeFiles/felis_insitu.dir/insitu/streaming_pod.cpp.o"
+  "CMakeFiles/felis_insitu.dir/insitu/streaming_pod.cpp.o.d"
+  "libfelis_insitu.a"
+  "libfelis_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

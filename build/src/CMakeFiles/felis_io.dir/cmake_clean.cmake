@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_io.dir/io/field_io.cpp.o"
+  "CMakeFiles/felis_io.dir/io/field_io.cpp.o.d"
+  "libfelis_io.a"
+  "libfelis_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_krylov.dir/krylov/cg.cpp.o"
+  "CMakeFiles/felis_krylov.dir/krylov/cg.cpp.o.d"
+  "CMakeFiles/felis_krylov.dir/krylov/gmres.cpp.o"
+  "CMakeFiles/felis_krylov.dir/krylov/gmres.cpp.o.d"
+  "CMakeFiles/felis_krylov.dir/krylov/projection.cpp.o"
+  "CMakeFiles/felis_krylov.dir/krylov/projection.cpp.o.d"
+  "CMakeFiles/felis_krylov.dir/krylov/solver.cpp.o"
+  "CMakeFiles/felis_krylov.dir/krylov/solver.cpp.o.d"
+  "libfelis_krylov.a"
+  "libfelis_krylov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_krylov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

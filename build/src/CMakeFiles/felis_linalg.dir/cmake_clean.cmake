@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_linalg.dir/linalg/decomp.cpp.o"
+  "CMakeFiles/felis_linalg.dir/linalg/decomp.cpp.o.d"
+  "CMakeFiles/felis_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/felis_linalg.dir/linalg/matrix.cpp.o.d"
+  "libfelis_linalg.a"
+  "libfelis_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

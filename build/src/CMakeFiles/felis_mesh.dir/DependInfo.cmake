@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/hex_mesh.cpp" "src/CMakeFiles/felis_mesh.dir/mesh/hex_mesh.cpp.o" "gcc" "src/CMakeFiles/felis_mesh.dir/mesh/hex_mesh.cpp.o.d"
+  "/root/repo/src/mesh/numbering.cpp" "src/CMakeFiles/felis_mesh.dir/mesh/numbering.cpp.o" "gcc" "src/CMakeFiles/felis_mesh.dir/mesh/numbering.cpp.o.d"
+  "/root/repo/src/mesh/partition.cpp" "src/CMakeFiles/felis_mesh.dir/mesh/partition.cpp.o" "gcc" "src/CMakeFiles/felis_mesh.dir/mesh/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/felis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_quadrature.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_mesh.dir/mesh/hex_mesh.cpp.o"
+  "CMakeFiles/felis_mesh.dir/mesh/hex_mesh.cpp.o.d"
+  "CMakeFiles/felis_mesh.dir/mesh/numbering.cpp.o"
+  "CMakeFiles/felis_mesh.dir/mesh/numbering.cpp.o.d"
+  "CMakeFiles/felis_mesh.dir/mesh/partition.cpp.o"
+  "CMakeFiles/felis_mesh.dir/mesh/partition.cpp.o.d"
+  "libfelis_mesh.a"
+  "libfelis_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

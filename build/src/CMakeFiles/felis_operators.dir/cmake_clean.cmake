@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_operators.dir/operators/ops.cpp.o"
+  "CMakeFiles/felis_operators.dir/operators/ops.cpp.o.d"
+  "libfelis_operators.a"
+  "libfelis_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

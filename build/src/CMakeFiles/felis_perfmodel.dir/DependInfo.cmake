@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/event_sim.cpp" "src/CMakeFiles/felis_perfmodel.dir/perfmodel/event_sim.cpp.o" "gcc" "src/CMakeFiles/felis_perfmodel.dir/perfmodel/event_sim.cpp.o.d"
+  "/root/repo/src/perfmodel/precon_schedule.cpp" "src/CMakeFiles/felis_perfmodel.dir/perfmodel/precon_schedule.cpp.o" "gcc" "src/CMakeFiles/felis_perfmodel.dir/perfmodel/precon_schedule.cpp.o.d"
+  "/root/repo/src/perfmodel/scaling.cpp" "src/CMakeFiles/felis_perfmodel.dir/perfmodel/scaling.cpp.o" "gcc" "src/CMakeFiles/felis_perfmodel.dir/perfmodel/scaling.cpp.o.d"
+  "/root/repo/src/perfmodel/workload.cpp" "src/CMakeFiles/felis_perfmodel.dir/perfmodel/workload.cpp.o" "gcc" "src/CMakeFiles/felis_perfmodel.dir/perfmodel/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/felis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_quadrature.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

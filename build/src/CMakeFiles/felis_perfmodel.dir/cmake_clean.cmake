@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_perfmodel.dir/perfmodel/event_sim.cpp.o"
+  "CMakeFiles/felis_perfmodel.dir/perfmodel/event_sim.cpp.o.d"
+  "CMakeFiles/felis_perfmodel.dir/perfmodel/precon_schedule.cpp.o"
+  "CMakeFiles/felis_perfmodel.dir/perfmodel/precon_schedule.cpp.o.d"
+  "CMakeFiles/felis_perfmodel.dir/perfmodel/scaling.cpp.o"
+  "CMakeFiles/felis_perfmodel.dir/perfmodel/scaling.cpp.o.d"
+  "CMakeFiles/felis_perfmodel.dir/perfmodel/workload.cpp.o"
+  "CMakeFiles/felis_perfmodel.dir/perfmodel/workload.cpp.o.d"
+  "libfelis_perfmodel.a"
+  "libfelis_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_precon.dir/precon/coarse.cpp.o"
+  "CMakeFiles/felis_precon.dir/precon/coarse.cpp.o.d"
+  "CMakeFiles/felis_precon.dir/precon/fdm.cpp.o"
+  "CMakeFiles/felis_precon.dir/precon/fdm.cpp.o.d"
+  "CMakeFiles/felis_precon.dir/precon/hsmg.cpp.o"
+  "CMakeFiles/felis_precon.dir/precon/hsmg.cpp.o.d"
+  "libfelis_precon.a"
+  "libfelis_precon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_precon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

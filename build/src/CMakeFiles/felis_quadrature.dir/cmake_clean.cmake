@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/felis_quadrature.dir/quadrature/basis.cpp.o"
+  "CMakeFiles/felis_quadrature.dir/quadrature/basis.cpp.o.d"
+  "CMakeFiles/felis_quadrature.dir/quadrature/legendre.cpp.o"
+  "CMakeFiles/felis_quadrature.dir/quadrature/legendre.cpp.o.d"
+  "libfelis_quadrature.a"
+  "libfelis_quadrature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/felis_quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

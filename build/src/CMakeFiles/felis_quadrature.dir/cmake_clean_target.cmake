@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfelis_quadrature.a"
+)

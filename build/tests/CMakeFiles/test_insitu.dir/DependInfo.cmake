@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_insitu.cpp" "tests/CMakeFiles/test_insitu.dir/test_insitu.cpp.o" "gcc" "tests/CMakeFiles/test_insitu.dir/test_insitu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/felis_case.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_precon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_krylov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_gs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_insitu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_quadrature.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/felis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

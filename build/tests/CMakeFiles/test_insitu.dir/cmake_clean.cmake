@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_insitu.dir/test_insitu.cpp.o"
+  "CMakeFiles/test_insitu.dir/test_insitu.cpp.o.d"
+  "test_insitu"
+  "test_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

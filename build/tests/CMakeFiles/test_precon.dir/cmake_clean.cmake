@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_precon.dir/test_precon.cpp.o"
+  "CMakeFiles/test_precon.dir/test_precon.cpp.o.d"
+  "test_precon"
+  "test_precon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_precon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -3,17 +3,37 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
-#include <map>
-#include <memory>
 #include <mutex>
 #include <thread>
 
+// Locking discipline
+// ------------------
+// `SimWorld` holds four independent lock domains; none is ever held while
+// acquiring another, so there is no lock ordering to violate:
+//
+//  * `barrier_mutex_`  — barrier count + generation counter. The generation
+//    counter disambiguates consecutive barriers (a rank that wakes late must
+//    not count toward the *next* barrier's quorum); it is only ever read or
+//    written under this mutex.
+//  * `reduce_mutex_`   — `reduce_count_` and the shared `reduce_buffer_`.
+//    Phase 1 (combine) mutates the buffer under the mutex; the barrier that
+//    follows publishes it, after which phase 2 reads are lock-free and
+//    race-free because nobody writes until the *second* barrier retires the
+//    buffer for reuse. The same publish/retire pattern covers
+//    `gather_slots_`.
+//  * `gather_mutex_`   — `gather_slots_` writes in allgatherv phase 1.
+//  * per-mailbox mutex — each rank's mailbox has its own mutex + condvar;
+//    senders lock only the destination mailbox, receivers only their own.
+//
+// All cross-rank happens-before edges therefore flow through either a mutex
+// or the barrier (itself mutex+condvar), which both TSan and the C++ memory
+// model recognise.
 namespace felis::comm {
 
 void SelfComm::send_bytes(int dest, int tag, const void* data, usize bytes) {
   FELIS_CHECK_MSG(dest == 0, "SelfComm: destination rank out of range");
   std::vector<std::byte> blob(bytes);
-  std::memcpy(blob.data(), data, bytes);
+  if (bytes) std::memcpy(blob.data(), data, bytes);
   mailbox_.emplace_back(tag, std::move(blob));
 }
 
@@ -70,7 +90,7 @@ class SimWorld {
     barrier();
     // Phase 2: everyone copies the result out; a second barrier before any
     // rank may start the next reduction guards buffer reuse.
-    std::memcpy(data, reduce_buffer_.data(), count * sizeof(T));
+    if (count) std::memcpy(data, reduce_buffer_.data(), count * sizeof(T));
     {
       std::unique_lock<std::mutex> lock(reduce_mutex_);
       reduce_count_ = 0;
@@ -95,7 +115,7 @@ class SimWorld {
     FELIS_CHECK_MSG(dest >= 0 && dest < nranks_, "send: destination out of range");
     Mailbox& box = mailboxes_[static_cast<usize>(dest)];
     std::vector<std::byte> blob(bytes);
-    std::memcpy(blob.data(), data, bytes);
+    if (bytes) std::memcpy(blob.data(), data, bytes);
     {
       std::unique_lock<std::mutex> lock(box.mutex);
       box.messages.push_back({source, tag, std::move(blob)});

@@ -72,20 +72,21 @@ class Communicator {
     const std::vector<std::byte> raw = recv_bytes(source, tag);
     FELIS_CHECK(raw.size() % sizeof(T) == 0);
     std::vector<T> v(raw.size() / sizeof(T));
-    std::memcpy(v.data(), raw.data(), raw.size());
+    // Zero-length guard: memcpy on a null data() pointer is UB (UBSan).
+    if (!raw.empty()) std::memcpy(v.data(), raw.data(), raw.size());
     return v;
   }
 
   template <typename T>
   std::vector<std::vector<T>> allgatherv(const std::vector<T>& mine) {
     std::vector<std::byte> raw(mine.size() * sizeof(T));
-    std::memcpy(raw.data(), mine.data(), raw.size());
+    if (!mine.empty()) std::memcpy(raw.data(), mine.data(), raw.size());
     const auto all = allgatherv_bytes(raw);
     std::vector<std::vector<T>> out(all.size());
     for (usize r = 0; r < all.size(); ++r) {
       FELIS_CHECK(all[r].size() % sizeof(T) == 0);
       out[r].resize(all[r].size() / sizeof(T));
-      std::memcpy(out[r].data(), all[r].data(), all[r].size());
+      if (!all[r].empty()) std::memcpy(out[r].data(), all[r].data(), all[r].size());
     }
     return out;
   }

@@ -45,9 +45,15 @@ namespace detail {
     }                                                             \
   } while (0)
 
-/// Debug-only assertion for inner kernels (compiled out with NDEBUG).
+/// Debug-only assertions for inner kernels (compiled out with NDEBUG).
+/// Like every felis contract check they throw `felis::Error` — never abort —
+/// so failure paths are testable and long-running drivers can recover.
 #ifdef NDEBUG
-#define FELIS_ASSERT(expr) ((void)0)
+// sizeof keeps the expression unevaluated (no side effects, no cost) while
+// still "using" the variables it names, so NDEBUG builds stay warning-free.
+#define FELIS_ASSERT(expr) ((void)sizeof(!(expr)))
+#define FELIS_ASSERT_MSG(expr, msg) ((void)sizeof(!(expr)))
 #else
 #define FELIS_ASSERT(expr) FELIS_CHECK(expr)
+#define FELIS_ASSERT_MSG(expr, msg) FELIS_CHECK_MSG(expr, msg)
 #endif

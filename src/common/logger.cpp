@@ -1,5 +1,7 @@
 #include "common/logger.hpp"
 
+#include <iostream>
+
 namespace felis {
 
 Logger& Logger::instance() {
@@ -8,9 +10,11 @@ Logger& Logger::instance() {
 }
 
 void Logger::log(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) > static_cast<int>(level_)) return;
+  if (static_cast<int>(level) > static_cast<int>(this->level())) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
   os << prefix_ << msg << '\n';
+  // felis-lint: the logger is the one sanctioned stdout writer.
   std::cout << os.str() << std::flush;
 }
 

@@ -5,7 +5,8 @@
 /// to silence output entirely (used by tests and by non-root ranks).
 #pragma once
 
-#include <iostream>
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -13,17 +14,22 @@ namespace felis {
 
 enum class LogLevel { kQuiet = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
 
-/// Process-wide logger. Not thread-safe for interleaved message *content*;
-/// each message is emitted with a single stream insertion.
+/// Process-wide logger, safe to use from simulated-rank threads: the level is
+/// atomic (checked lock-free on the hot path) and the prefix and stream
+/// emission are guarded by one mutex, so concurrent messages never interleave
+/// mid-line.
 class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Optional prefix identifying the simulated rank ("[rank 3] ").
-  void set_prefix(std::string prefix) { prefix_ = std::move(prefix); }
+  void set_prefix(std::string prefix) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    prefix_ = std::move(prefix);
+  }
 
   void log(LogLevel level, const std::string& msg);
 
@@ -32,7 +38,8 @@ class Logger {
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex mutex_;  ///< guards prefix_ and output emission
   std::string prefix_;
 };
 

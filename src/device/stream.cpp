@@ -4,6 +4,17 @@
 #include <iomanip>
 #include <sstream>
 
+// Locking discipline
+// ------------------
+// `Stream`: one mutex (`mutex_`) guards the queue, `running_`, and
+// `shutdown_`. Tasks themselves execute *outside* the lock, so a task may
+// submit to its own or another stream without self-deadlock. `cv_submit_`
+// wakes the worker, `cv_done_` wakes waiters; both are always signalled with
+// the protected state already updated, never while a task is running.
+//
+// `TraceRecorder`: `mutex_` guards `t0_` and `events_`. `now()` must take the
+// lock too — `start()` rewrites `t0_` and concurrent `timed()` calls on other
+// streams read it (this was a TSan finding).
 namespace felis::device {
 
 Stream::Stream(int priority) : priority_(priority) {
@@ -59,6 +70,7 @@ void TraceRecorder::start() {
 }
 
 double TraceRecorder::now() const {
+  std::unique_lock<std::mutex> lock(mutex_);
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
       .count();
 }

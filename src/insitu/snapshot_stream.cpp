@@ -1,5 +1,16 @@
 #include "insitu/snapshot_stream.hpp"
 
+// Locking discipline
+// ------------------
+// A single mutex guards the deque, `closed_`, and both condition variables;
+// every member — including the `size()`/`closed()` observers — takes it, so
+// the stream is safe for any number of producers and consumers (the in-situ
+// pipeline of §5.2 runs solver ranks pushing while an analysis thread
+// drains). Waits use two condvars so that back-pressured producers
+// (`cv_push_`, queue full) and starved consumers (`cv_pop_`, queue empty)
+// never steal each other's wakeups; `close()` broadcasts to both. Snapshot
+// payloads are moved in and out under the lock — the payload itself is only
+// owned by one side at a time, never shared.
 namespace felis::insitu {
 
 bool SnapshotStream::push(RealVec snapshot) {

@@ -35,20 +35,28 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   real_t& operator()(lidx_t i, lidx_t j) {
-    FELIS_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    FELIS_ASSERT_MSG(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                     "Matrix index (" << i << "," << j << ") out of " << rows_
+                                      << "x" << cols_);
     return data_[static_cast<usize>(j) * static_cast<usize>(rows_) +
                  static_cast<usize>(i)];
   }
   real_t operator()(lidx_t i, lidx_t j) const {
-    FELIS_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    FELIS_ASSERT_MSG(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                     "Matrix index (" << i << "," << j << ") out of " << rows_
+                                      << "x" << cols_);
     return data_[static_cast<usize>(j) * static_cast<usize>(rows_) +
                  static_cast<usize>(i)];
   }
 
   real_t* data() { return data_.data(); }
   const real_t* data() const { return data_.data(); }
-  real_t* col(lidx_t j) { return data() + static_cast<usize>(j) * static_cast<usize>(rows_); }
+  real_t* col(lidx_t j) {
+    FELIS_ASSERT_MSG(j >= 0 && j < cols_, "Matrix column " << j << " out of " << cols_);
+    return data() + static_cast<usize>(j) * static_cast<usize>(rows_);
+  }
   const real_t* col(lidx_t j) const {
+    FELIS_ASSERT_MSG(j >= 0 && j < cols_, "Matrix column " << j << " out of " << cols_);
     return data() + static_cast<usize>(j) * static_cast<usize>(rows_);
   }
 

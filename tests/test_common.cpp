@@ -23,6 +23,62 @@ TEST(Error, CheckThrowsWithMessage) {
   }
 }
 
+TEST(Error, CheckIsAlwaysOnAndReportsSite) {
+  // FELIS_CHECK is active in every build configuration (unlike FELIS_ASSERT)
+  // and its message carries the failing expression and source location.
+  try {
+    FELIS_CHECK(1 > 2);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 > 2"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+    EXPECT_NE(what.find("felis check failed"), std::string::npos);
+  }
+}
+
+TEST(Error, ErrorIsCatchableAsStdException) {
+  // Library contract failures must be recoverable: felis::Error derives from
+  // std::runtime_error so generic driver loops can catch and continue.
+  try {
+    FELIS_CHECK_MSG(false, "recoverable");
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("recoverable"), std::string::npos);
+    return;
+  }
+  FAIL() << "expected std::exception";
+}
+
+TEST(Error, CheckEvaluatesExpressionExactlyOnce) {
+  int evals = 0;
+  const auto bump = [&evals] {
+    ++evals;
+    return true;
+  };
+  FELIS_CHECK(bump());
+  EXPECT_EQ(evals, 1);
+  FELIS_CHECK_MSG(bump(), "side effects must not double-fire");
+  EXPECT_EQ(evals, 2);
+}
+
+TEST(Error, AssertSemanticsMatchBuildConfiguration) {
+  // In NDEBUG builds FELIS_ASSERT / FELIS_ASSERT_MSG compile out entirely
+  // (their arguments are not evaluated); in debug builds they behave exactly
+  // like FELIS_CHECK. The always-live branch is covered for every config by
+  // test_race_stress, which forces NDEBUG off.
+#ifdef NDEBUG
+  int evals = 0;
+  FELIS_ASSERT((++evals, false));
+  FELIS_ASSERT_MSG((++evals, false), "unused " << evals);
+  EXPECT_EQ(evals, 0);
+#else
+  EXPECT_THROW(FELIS_ASSERT(false), Error);
+  EXPECT_THROW(FELIS_ASSERT_MSG(false, "msg " << 1), Error);
+  EXPECT_NO_THROW(FELIS_ASSERT(true));
+  EXPECT_NO_THROW(FELIS_ASSERT_MSG(true, "msg"));
+#endif
+}
+
 TEST(Profiler, NestedRegionsAccumulateTimeAndCalls) {
   Profiler prof;
   for (int i = 0; i < 3; ++i) {

@@ -1,0 +1,391 @@
+#!/usr/bin/env python3
+"""felis-lint: repo-contract checks that compilers cannot express.
+
+Rules
+-----
+  raw-abort           Library code (src/) must not call assert()/abort()/exit();
+                      contract failures go through FELIS_CHECK / FELIS_ASSERT,
+                      which throw felis::Error and never kill the process.
+  stray-stdout        No std::cout / std::cerr / printf-family outside the
+                      logger (src/common/logger.cpp). Rank-aware, levelled
+                      output must flow through felis::Logger.
+  pragma-once         Every header carries `#pragma once`.
+  file-doc            Every header opens with a `/// \\file` doc block.
+  using-namespace     No `using namespace` at header scope.
+  include-order       In src/ .cpp files: the translation unit's own header is
+                      included first; no duplicate includes; project headers
+                      use quotes and system headers use angle brackets; each
+                      contiguous run of same-style includes is sorted.
+  build-artifacts     No build trees or compiler outputs tracked by git
+                      (build*/ , *.o, CMakeCache.txt, bench JSON dumps, ...).
+
+Usage
+-----
+  felis_lint.py --root <repo>      lint the tree (exit 1 on violations)
+  felis_lint.py --self-test        seed one violation per rule into a scratch
+                                   tree and verify each is caught (exit 1 if
+                                   any rule fails to fire)
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+HEADER_DIRS = ("src", "tests", "bench", "examples")
+LIBRARY_DIR = "src"
+STDOUT_EXEMPT = {os.path.join("src", "common", "logger.cpp")}
+
+RAW_ABORT_RE = re.compile(r"(?<![\w.])(assert|abort|exit)\s*\(")
+STDOUT_RE = re.compile(r"std::cout|std::cerr|(?<![\w.])(printf|fprintf|puts)\s*\(")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^>"]+)[>"]')
+
+TRACKED_ARTIFACT_RES = [
+    re.compile(r"(^|/)build[^/]*/"),
+    re.compile(r"\.(o|obj|a|so|dylib|gch|pch|exe|bin|out)$"),
+    re.compile(r"(^|/)(CMakeCache\.txt|CMakeFiles/|CTestTestfile\.cmake|Testing/)"),
+    re.compile(r"^bench/.*\.json$"),
+    re.compile(r"(^|/)(\.DS_Store|.*\.swp|.*~)$"),
+]
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line structure
+    so reported line numbers stay correct. A lexer-grade pass is overkill for
+    lint purposes; this handles //, /* */, "..." and '...' including escapes.
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(ch)
+        elif state == "line_comment":
+            if ch == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if ch == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == quote:
+                state = "code"
+            out.append(" " if ch != "\n" else "\n")
+        i += 1
+    return "".join(out)
+
+
+def iter_files(root, dirs, exts):
+    for d in dirs:
+        base = os.path.join(root, d)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = sorted(x for x in dirnames if not x.startswith("."))
+            for fn in sorted(filenames):
+                if os.path.splitext(fn)[1] in exts:
+                    yield os.path.join(dirpath, fn)
+
+
+def rel(root, path):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+# ---- rule implementations ---------------------------------------------------
+
+
+def check_raw_abort(root):
+    out = []
+    for path in iter_files(root, (LIBRARY_DIR,), {".hpp", ".cpp"}):
+        code = strip_comments_and_strings(open(path, encoding="utf-8").read())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = RAW_ABORT_RE.search(line)
+            if m:
+                out.append(Violation(
+                    rel(root, path), lineno, "raw-abort",
+                    f"raw {m.group(1)}() in library code; use FELIS_CHECK / "
+                    f"FELIS_ASSERT (they throw felis::Error, never abort)"))
+    return out
+
+
+def check_stray_stdout(root):
+    out = []
+    for path in iter_files(root, (LIBRARY_DIR,), {".hpp", ".cpp"}):
+        if rel(root, path) in {p.replace(os.sep, "/") for p in STDOUT_EXEMPT}:
+            continue
+        code = strip_comments_and_strings(open(path, encoding="utf-8").read())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if STDOUT_RE.search(line):
+                out.append(Violation(
+                    rel(root, path), lineno, "stray-stdout",
+                    "direct stdout/stderr write in library code; route "
+                    "through felis::Logger"))
+    return out
+
+
+def check_headers(root):
+    out = []
+    for path in iter_files(root, HEADER_DIRS, {".hpp"}):
+        text = open(path, encoding="utf-8").read()
+        lines = text.splitlines()
+        if "#pragma once" not in text:
+            out.append(Violation(rel(root, path), 1, "pragma-once",
+                                 "header lacks #pragma once"))
+        if not any(l.lstrip().startswith("/// \\file") for l in lines[:5]):
+            out.append(Violation(rel(root, path), 1, "file-doc",
+                                 "header must open with a `/// \\file` doc block"))
+        code = strip_comments_and_strings(text)
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if USING_NAMESPACE_RE.search(line):
+                out.append(Violation(rel(root, path), lineno, "using-namespace",
+                                     "`using namespace` leaks into every includer"))
+    return out
+
+
+def check_include_order(root):
+    out = []
+    src = os.path.join(root, LIBRARY_DIR)
+    for path in iter_files(root, (LIBRARY_DIR,), {".cpp"}):
+        relpath = rel(root, path)
+        includes = []  # (lineno, style, target)
+        for lineno, line in enumerate(open(path, encoding="utf-8").read().splitlines(), 1):
+            m = INCLUDE_RE.match(line)
+            if m:
+                includes.append((lineno, m.group(1), m.group(2)))
+        if not includes:
+            continue
+        own = os.path.splitext(os.path.relpath(path, src))[0].replace(os.sep, "/") + ".hpp"
+        if os.path.exists(os.path.join(src, own)):
+            first = includes[0]
+            if not (first[1] == '"' and first[2] == own):
+                out.append(Violation(relpath, first[0], "include-order",
+                                     f'own header "{own}" must be the first include'))
+        seen = {}
+        for lineno, style, target in includes:
+            if target in seen:
+                out.append(Violation(relpath, lineno, "include-order",
+                                     f"duplicate include of {target} "
+                                     f"(first at line {seen[target]})"))
+            else:
+                seen[target] = lineno
+        for lineno, style, target in includes:
+            exists_in_src = os.path.exists(os.path.join(src, target))
+            if style == "<" and exists_in_src:
+                out.append(Violation(relpath, lineno, "include-order",
+                                     f"project header <{target}> must use quotes"))
+            if style == '"' and not exists_in_src:
+                out.append(Violation(relpath, lineno, "include-order",
+                                     f'"{target}" is not a project header; use <...>'))
+        # Each contiguous run of same-style includes must be sorted (the own
+        # header, always first, is excluded from the ordering requirement).
+        run = []
+        prev_lineno = None
+        prev_style = None
+        body = includes[1:] if includes and includes[0][2] == own else includes
+        for lineno, style, target in body + [(None, None, None)]:
+            contiguous = prev_lineno is not None and lineno == prev_lineno + 1
+            if style == prev_style and contiguous:
+                run.append((lineno, target))
+            else:
+                if len(run) > 1 and [t for _, t in run] != sorted(t for _, t in run):
+                    out.append(Violation(relpath, run[0][0], "include-order",
+                                         "include block is not alphabetically sorted"))
+                run = [(lineno, target)] if style else []
+            prev_lineno, prev_style = lineno, style
+    return out
+
+
+def check_build_artifacts(root):
+    try:
+        tracked = subprocess.run(
+            ["git", "-C", root, "ls-files", "--cached"],
+            capture_output=True, text=True, check=True).stdout.splitlines()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return []  # not a git checkout (e.g. exported tarball): nothing to check
+    out = []
+    for path in tracked:
+        for pat in TRACKED_ARTIFACT_RES:
+            if pat.search(path):
+                out.append(Violation(path, 1, "build-artifacts",
+                                     "build artifact is tracked by git; "
+                                     "remove it and rely on .gitignore"))
+                break
+    return out
+
+
+ALL_CHECKS = [
+    check_raw_abort,
+    check_stray_stdout,
+    check_headers,
+    check_include_order,
+    check_build_artifacts,
+]
+
+
+def lint(root):
+    violations = []
+    for check in ALL_CHECKS:
+        violations.extend(check(root))
+    return violations
+
+
+# ---- self-test --------------------------------------------------------------
+
+SEEDED = {
+    "src/bad/raw_abort.cpp": (
+        "raw-abort",
+        '#include <cstdlib>\nvoid f(int x) { if (x) abort(); }\n'),
+    "src/bad/raw_assert.cpp": (
+        "raw-abort",
+        '#include <cassert>\nvoid g(int x) { assert(x > 0); }\n'),
+    "src/bad/stray_stdout.cpp": (
+        "stray-stdout",
+        '#include <iostream>\nvoid h() { std::cout << "hi"; }\n'),
+    "src/bad/no_pragma.hpp": (
+        "pragma-once",
+        "/// \\file no_pragma.hpp\nint i();\n"),
+    "src/bad/no_doc.hpp": (
+        "file-doc",
+        "#pragma once\nint j();\n"),
+    "src/bad/using_ns.hpp": (
+        "using-namespace",
+        "/// \\file using_ns.hpp\n#pragma once\nusing namespace std;\n"),
+    "src/bad/order.cpp": (
+        "include-order",
+        '#include <vector>\n#include "bad/order.hpp"\n'),
+    "src/bad/order.hpp": (
+        None,
+        "/// \\file order.hpp\n#pragma once\nint k();\n"),
+    "src/bad/unsorted.cpp": (
+        "include-order",
+        '#include "bad/unsorted.hpp"\n\n#include <vector>\n#include <atomic>\n'),
+    "src/bad/unsorted.hpp": (
+        None,
+        "/// \\file unsorted.hpp\n#pragma once\nint m();\n"),
+    "src/good/clean.cpp": (
+        None,
+        '#include "good/clean.hpp"\n\n#include <atomic>\n#include <vector>\n\n'
+        'int n() { return 0; }\n'),
+    "src/good/clean.hpp": (
+        None,
+        "/// \\file clean.hpp\n#pragma once\nint n();\n"),
+}
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for relp, (_, content) in SEEDED.items():
+            path = os.path.join(tmp, relp)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        subprocess.run(["git", "init", "-q", tmp], check=True,
+                       capture_output=True)
+        os.makedirs(os.path.join(tmp, "build"), exist_ok=True)
+        with open(os.path.join(tmp, "build", "CMakeCache.txt"), "w") as f:
+            f.write("// seeded artifact\n")
+        subprocess.run(["git", "-C", tmp, "add", "-f", "."], check=True,
+                       capture_output=True)
+
+        violations = lint(tmp)
+        by_rule = {}
+        for v in violations:
+            by_rule.setdefault(v.rule, []).append(v)
+
+        for relp, (rule, _) in SEEDED.items():
+            if rule is None:
+                continue
+            hits = [v for v in by_rule.get(rule, []) if v.path == relp]
+            if not hits:
+                failures.append(f"rule '{rule}' did not fire on seeded {relp}")
+        if not by_rule.get("build-artifacts"):
+            failures.append("rule 'build-artifacts' did not fire on seeded "
+                            "build/CMakeCache.txt")
+        clean_hits = [v for v in violations if v.path.startswith("src/good/")]
+        for v in clean_hits:
+            failures.append(f"false positive on clean file: {v}")
+
+    if failures:
+        for f in failures:
+            print(f"felis-lint self-test FAILED: {f}")
+        return 1
+    print(f"felis-lint self-test passed ({len(SEEDED)} seeded files, "
+          f"all rules fired, no false positives).")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", help="repository root to lint")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify every rule fires on seeded violations")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.root:
+        ap.error("--root is required unless --self-test is given")
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"felis-lint: '{root}' is not a felis tree (no src/ directory).",
+              file=sys.stderr)
+        return 2
+    violations = lint(root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"felis-lint: {len(violations)} violation(s).")
+        return 1
+    print("felis-lint: clean.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

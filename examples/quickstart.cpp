@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "case/rbc.hpp"
+#include "device/backend.hpp"
 #include "operators/setup.hpp"
 #include "precon/coarse.hpp"
 
@@ -44,10 +45,13 @@ int main(int argc, char** argv) {
 
   // 2. Discretization: degree-7 spectral elements (the paper's production
   //    order) plus the degree-1 companion grid for the pressure
-  //    preconditioner; SelfComm = single rank.
+  //    preconditioner; SelfComm = single rank. The device backend comes from
+  //    the `device.backend` case key (or FELIS_BACKEND env, or auto-detect).
   comm::SelfComm comm;
-  auto fine = operators::make_rank_setup(mesh, 5, comm, /*dealias=*/true);
-  auto coarse = precon::make_coarse_setup(mesh, comm);
+  device::Backend& backend = device::select_backend(params);
+  auto fine = operators::make_rank_setup(mesh, 5, comm, /*dealias=*/true,
+                                         /*three_halves_rule=*/true, &backend);
+  auto coarse = precon::make_coarse_setup(mesh, comm, &backend);
 
   // 3. Case: free-fall units, Pr = 1, conduction profile + perturbation.
   //    Defaults here; a --case file overrides any subset of them.

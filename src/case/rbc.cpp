@@ -56,21 +56,25 @@ void RbcSimulation::set_initial_conditions() {
   const real_t p1 = phase(gen), p2 = phase(gen), p3 = phase(gen);
   const real_t kx = 2 * M_PI / config_.perturbation_lx;
   const real_t ky = 2 * M_PI / config_.perturbation_ly;
-  for (usize i = 0; i < nd; ++i) {
-    const real_t x = fine_.coef->x[i];
-    const real_t y = fine_.coef->y[i];
-    const real_t z = fine_.coef->z[i] / height_;
-    const real_t envelope = std::sin(M_PI * z);
-    const real_t noise = std::sin(kx * x + p1) * std::cos(ky * y + p2) +
-                         0.5 * std::sin(2 * kx * x + p3) +
-                         0.25 * std::cos(ky * y - p1);
-    temp[i] = (1.0 - z) + config_.perturbation * envelope * noise;
-  }
+  fine_.dev().parallel_for_blocked(
+      static_cast<lidx_t>(nd), /*grain=*/0,
+      [&](lidx_t begin, lidx_t end, int /*worker*/) {
+        for (lidx_t idx = begin; idx < end; ++idx) {
+          const usize i = static_cast<usize>(idx);
+          const real_t x = fine_.coef->x[i];
+          const real_t y = fine_.coef->y[i];
+          const real_t z = fine_.coef->z[i] / height_;
+          const real_t envelope = std::sin(M_PI * z);
+          const real_t noise = std::sin(kx * x + p1) * std::cos(ky * y + p2) +
+                               0.5 * std::sin(2 * kx * x + p3) +
+                               0.25 * std::cos(ky * y - p1);
+          temp[i] = (1.0 - z) + config_.perturbation * envelope * noise;
+        }
+      });
   // Reconcile duplicates so the seed field is exactly continuous (relevant
   // across periodic seams).
   fine_.gs->apply(temp, gs::GsOp::kAdd);
-  const RealVec& inv_mult = fine_.gs->inverse_multiplicity();
-  for (usize i = 0; i < nd; ++i) temp[i] *= inv_mult[i];
+  operators::vec_mul(fine_.dev(), fine_.gs->inverse_multiplicity(), temp);
   for (auto* c : {&solver_->u(), &solver_->v(), &solver_->w()})
     std::fill(c->begin(), c->end(), 0.0);
   solver_->apply_boundary_conditions();
@@ -115,13 +119,18 @@ RbcDiagnostics RbcSimulation::diagnostics() const {
   real_t sums[4] = {0, 0, 0, 0};  // wT, |u|², T, volume
   const RealVec& u = solver_->u();
   const RealVec& v = solver_->v();
-  for (usize i = 0; i < nd; ++i) {
-    const real_t bw = mass[i] * mult[i];
-    sums[0] += bw * w[i] * temp[i];
-    sums[1] += bw * (u[i] * u[i] + v[i] * v[i] + w[i] * w[i]);
-    sums[2] += bw * temp[i];
-    sums[3] += bw;
-  }
+  fine_.dev().reduce_sum(
+      static_cast<lidx_t>(nd), 4, sums,
+      [&](lidx_t begin, lidx_t end, real_t* acc) {
+        for (lidx_t idx = begin; idx < end; ++idx) {
+          const usize i = static_cast<usize>(idx);
+          const real_t bw = mass[i] * mult[i];
+          acc[0] += bw * w[i] * temp[i];
+          acc[1] += bw * (u[i] * u[i] + v[i] * v[i] + w[i] * w[i]);
+          acc[2] += bw * temp[i];
+          acc[3] += bw;
+        }
+      });
   fine_.comm->allreduce(sums, 4, comm::ReduceOp::kSum);
   const real_t vol = sums[3];
   d.nusselt_volume = 1.0 + std::sqrt(config_.rayleigh * config_.prandtl) *

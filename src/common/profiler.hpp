@@ -8,10 +8,14 @@
 /// exact counts are the inputs to the perfmodel that regenerates the paper's
 /// extreme-scale Figs. 3 and 4.
 ///
-/// A `Profiler` instance is owned by one solver instance (one simulated rank)
-/// and is used from that rank's thread only.
+/// A `Profiler` instance is owned by one solver instance (one simulated rank).
+/// The region stack (push/pop/scope), reset() and report() are used from that
+/// rank's thread only; the counter-charging calls (add_flops/add_bytes/...)
+/// are atomic so kernels dispatched onto a device backend, or a solve shared
+/// between overlapped threads, may charge the current region concurrently.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
@@ -81,15 +85,22 @@ class Profiler {
   /// RAII helper: `auto r = prof.scope("pressure");`
   ScopedRegion scope(const std::string& name) { return ScopedRegion(*this, name); }
 
-  /// Charge counters to the *current* region.
-  void add_flops(double n) { current_->counters.flops += n; }
-  void add_bytes(double n) { current_->counters.bytes += n; }
+  /// Charge counters to the *current* region (thread-safe; see file comment).
+  void add_flops(double n) { charge(current_->counters.flops, n); }
+  void add_bytes(double n) { charge(current_->counters.bytes, n); }
   void add_message(double bytes) {
-    current_->counters.messages += 1;
-    current_->counters.msg_bytes += bytes;
+    charge(current_->counters.messages, 1);
+    charge(current_->counters.msg_bytes, bytes);
   }
-  void add_reduction() { current_->counters.reductions += 1; }
-  void add(const OpCounters& c) { current_->counters += c; }
+  void add_reduction() { charge(current_->counters.reductions, 1); }
+  void add(const OpCounters& c) {
+    OpCounters& dst = current_->counters;
+    charge(dst.flops, c.flops);
+    charge(dst.bytes, c.bytes);
+    charge(dst.messages, c.messages);
+    charge(dst.msg_bytes, c.msg_bytes);
+    charge(dst.reductions, c.reductions);
+  }
 
   /// Reset all accumulated times/counters but keep the tree shape.
   void reset();
@@ -109,6 +120,10 @@ class Profiler {
   void set_timing_enabled(bool on) { timing_enabled_ = on; }
 
  private:
+  static void charge(double& counter, double n) {
+    std::atomic_ref<double>(counter).fetch_add(n, std::memory_order_relaxed);
+  }
+
   using Clock = std::chrono::steady_clock;
   struct Frame {
     RegionNode* node;

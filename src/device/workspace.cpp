@@ -1,0 +1,27 @@
+/// \file workspace.cpp
+#include "device/workspace.hpp"
+
+namespace felis::device {
+
+Workspace& Workspace::mine() {
+  static thread_local Workspace workspace;
+  return workspace;
+}
+
+WorkspaceFrame::~WorkspaceFrame() {
+  // Frames are strictly LIFO on one thread, so every buffer claimed past
+  // mark_ belongs to this frame (or to frames nested inside it, already
+  // destroyed); popping the cursor releases exactly those buffers.
+  workspace_.cursor_ = mark_;
+}
+
+RealVec& WorkspaceFrame::vec(usize n) {
+  if (workspace_.cursor_ == workspace_.buffers_.size()) {
+    workspace_.buffers_.push_back(std::make_unique<RealVec>());
+  }
+  RealVec& buffer = *workspace_.buffers_[workspace_.cursor_++];
+  buffer.resize(n);  // shrink keeps capacity; grow reuses it across calls
+  return buffer;
+}
+
+}  // namespace felis::device

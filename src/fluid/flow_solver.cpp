@@ -101,24 +101,37 @@ void FlowSolver::set_scalar_forcing_history(int f_lag, const RealVec& g) {
 void FlowSolver::compute_forcing(std::array<RealVec, 3>& f_weak,
                                  RealVec& g_weak) {
   const usize nd = fine_.num_dofs();
+  device::Backend& dev = fine_.dev();
   advector_.set_velocity(u_[0], u_[1], u_[2]);
   for (int c = 0; c < 3; ++c) {
     f_weak[static_cast<usize>(c)].assign(nd, 0.0);
     advector_.apply(u_[static_cast<usize>(c)], f_weak[static_cast<usize>(c)], -1.0);
   }
   if (config_.buoyancy != 0.0) {
-    for (usize i = 0; i < nd; ++i)
-      f_weak[2][i] += config_.buoyancy * fine_.coef->mass[i] * temp_[i];
+    const RealVec& mass = fine_.coef->mass;
+    RealVec& fz = f_weak[2];
+    dev.parallel_for_blocked(static_cast<lidx_t>(nd), /*grain=*/0,
+                             [&](lidx_t begin, lidx_t end, int /*worker*/) {
+                               for (lidx_t i = begin; i < end; ++i) {
+                                 const usize u = static_cast<usize>(i);
+                                 fz[u] += config_.buoyancy * mass[u] * temp_[u];
+                               }
+                             });
   }
   if (config_.forcing) {
     RealVec fx(nd, 0.0), fy(nd, 0.0), fz(nd, 0.0);
     config_.forcing(time_, *fine_.coef, fx, fy, fz);
-    for (usize i = 0; i < nd; ++i) {
-      const real_t b = fine_.coef->mass[i];
-      f_weak[0][i] += b * fx[i];
-      f_weak[1][i] += b * fy[i];
-      f_weak[2][i] += b * fz[i];
-    }
+    const RealVec& mass = fine_.coef->mass;
+    dev.parallel_for_blocked(static_cast<lidx_t>(nd), /*grain=*/0,
+                             [&](lidx_t begin, lidx_t end, int /*worker*/) {
+                               for (lidx_t i = begin; i < end; ++i) {
+                                 const usize u = static_cast<usize>(i);
+                                 const real_t b = mass[u];
+                                 f_weak[0][u] += b * fx[u];
+                                 f_weak[1][u] += b * fy[u];
+                                 f_weak[2][u] += b * fz[u];
+                               }
+                             });
   }
   if (config_.solve_scalar) {
     g_weak.assign(nd, 0.0);
@@ -150,11 +163,11 @@ StepInfo FlowSolver::step() {
     for (int c = 0; c < 3; ++c) {
       RealVec& f = f_weak[static_cast<usize>(c)];
       fine_.gs->apply(f, gs::GsOp::kAdd, prof);
-      for (usize i = 0; i < nd; ++i) f[i] *= assembled_mass_inv_[i];
+      operators::vec_mul(fine_.dev(), assembled_mass_inv_, f);
     }
     if (config_.solve_scalar) {
       fine_.gs->apply(g_weak, gs::GsOp::kAdd, prof);
-      for (usize i = 0; i < nd; ++i) g_weak[i] *= assembled_mass_inv_[i];
+      operators::vec_mul(fine_.dev(), assembled_mass_inv_, g_weak);
     }
   }
   // Rotate forcing history: f_hist_[0] ← F^n.
@@ -181,7 +194,14 @@ StepInfo FlowSolver::step() {
       const real_t ej = coeff.e[static_cast<usize>(j)];
       const RealVec& fj = f_hist_[static_cast<usize>(j)][static_cast<usize>(c)];
       const RealVec& uj = *uh[j];
-      for (usize i = 0; i < nd; ++i) ut[i] += aj * uj[i] + dt * ej * fj[i];
+      fine_.dev().parallel_for_blocked(
+          static_cast<lidx_t>(nd), /*grain=*/0,
+          [&](lidx_t begin, lidx_t end, int /*worker*/) {
+            for (lidx_t i = begin; i < end; ++i) {
+              const usize u = static_cast<usize>(i);
+              ut[u] += aj * uj[u] + dt * ej * fj[u];
+            }
+          });
     }
   }
   if (config_.solve_scalar) {
@@ -190,8 +210,16 @@ StepInfo FlowSolver::step() {
     for (int j = 0; j < coeff.order; ++j) {
       const real_t aj = coeff.a[static_cast<usize>(j)];
       const real_t ej = coeff.e[static_cast<usize>(j)];
-      for (usize i = 0; i < nd; ++i)
-        t_tilde[i] += aj * (*th[j])[i] + dt * ej * g_hist_[static_cast<usize>(j)][i];
+      const RealVec& tj = *th[j];
+      const RealVec& gj = g_hist_[static_cast<usize>(j)];
+      fine_.dev().parallel_for_blocked(
+          static_cast<lidx_t>(nd), /*grain=*/0,
+          [&](lidx_t begin, lidx_t end, int /*worker*/) {
+            for (lidx_t i = begin; i < end; ++i) {
+              const usize u = static_cast<usize>(i);
+              t_tilde[u] += aj * tj[u] + dt * ej * gj[u];
+            }
+          });
     }
   }
 
@@ -201,8 +229,7 @@ StepInfo FlowSolver::step() {
     RealVec rhs(nd);
     operators::div_weak(fine_, u_tilde[0], u_tilde[1], u_tilde[2], rhs);
     fine_.gs->apply(rhs, gs::GsOp::kAdd, prof);
-    const real_t inv_dt = 1.0 / dt;
-    for (real_t& v : rhs) v *= inv_dt;
+    operators::vec_scale(fine_.dev(), 1.0 / dt, rhs);
     // Project onto range(A): the Poisson operator's null space is the
     // constants, and the projection/deflation below must never see them.
     operators::remove_null_component(fine_, rhs);
@@ -235,15 +262,23 @@ StepInfo FlowSolver::step() {
     velocity_op_->set_coefficients(config_.viscosity, h2);
     if (h2 != velocity_pc_h2_) {
       velocity_pc_ = std::make_unique<krylov::JacobiPrecon>(
-          operators::diag_helmholtz(fine_, config_.viscosity, h2));
+          operators::diag_helmholtz(fine_, config_.viscosity, h2),
+          fine_.backend);
       velocity_pc_h2_ = h2;
     }
     for (int c = 0; c < 3; ++c) {
       RealVec rhs(nd);
       const RealVec& ut = u_tilde[static_cast<usize>(c)];
       const RealVec& dpc = *dp[c];
-      for (usize i = 0; i < nd; ++i)
-        rhs[i] = fine_.coef->mass[i] * (ut[i] / dt - dpc[i]);
+      const RealVec& mass = fine_.coef->mass;
+      fine_.dev().parallel_for_blocked(
+          static_cast<lidx_t>(nd), /*grain=*/0,
+          [&](lidx_t begin, lidx_t end, int /*worker*/) {
+            for (lidx_t i = begin; i < end; ++i) {
+              const usize u = static_cast<usize>(i);
+              rhs[u] = mass[u] * (ut[u] / dt - dpc[u]);
+            }
+          });
       fine_.gs->apply(rhs, gs::GsOp::kAdd, prof);
       krylov::apply_mask(rhs, vel_mask_);
       // Keep u^n as history, then solve into the current field (warm start).
@@ -264,29 +299,38 @@ StepInfo FlowSolver::step() {
     scalar_op_->set_coefficients(config_.conductivity, h2);
     if (h2 != scalar_pc_h2_) {
       scalar_pc_ = std::make_unique<krylov::JacobiPrecon>(
-          operators::diag_helmholtz(fine_, config_.conductivity, h2));
+          operators::diag_helmholtz(fine_, config_.conductivity, h2),
+          fine_.backend);
       scalar_pc_h2_ = h2;
     }
     RealVec rhs(nd);
-    for (usize i = 0; i < nd; ++i)
-      rhs[i] = fine_.coef->mass[i] * t_tilde[i] / dt;
+    const RealVec& mass = fine_.coef->mass;
+    fine_.dev().parallel_for_blocked(
+        static_cast<lidx_t>(nd), /*grain=*/0,
+        [&](lidx_t begin, lidx_t end, int /*worker*/) {
+          for (lidx_t i = begin; i < end; ++i) {
+            const usize u = static_cast<usize>(i);
+            rhs[u] = mass[u] * t_tilde[u] / dt;
+          }
+        });
     fine_.gs->apply(rhs, gs::GsOp::kAdd, prof);
     // Dirichlet lifting: subtract A_full(T_bc), solve homogeneous, add back.
     RealVec a_bc(nd);
     operators::ax_helmholtz(fine_, scalar_bc_, a_bc, config_.conductivity, h2);
     fine_.gs->apply(a_bc, gs::GsOp::kAdd, prof);
-    for (usize i = 0; i < nd; ++i) rhs[i] -= a_bc[i];
+    operators::vec_axpy(fine_.dev(), -1.0, a_bc, rhs);
     krylov::apply_mask(rhs, scalar_mask_);
     t_hist_[1] = t_hist_[0];
     t_hist_[0] = temp_;
     // Warm start: homogeneous part of the previous temperature.
     RealVec th = temp_;
-    for (usize i = 0; i < nd; ++i) th[i] -= scalar_bc_[i];
+    operators::vec_axpy(fine_.dev(), -1.0, scalar_bc_, th);
     krylov::apply_mask(th, scalar_mask_);
     const auto stats =
         cg_.solve(*scalar_op_, *scalar_pc_, rhs, th, config_.scalar_control);
     info.scalar_iterations = stats.iterations;
-    for (usize i = 0; i < nd; ++i) temp_[i] = th[i] + scalar_bc_[i];
+    operators::vec_copy(fine_.dev(), th, temp_);
+    operators::vec_add(fine_.dev(), scalar_bc_, temp_);
   }
 
   // --- diagnostics ----------------------------------------------------------
@@ -294,9 +338,16 @@ StepInfo FlowSolver::step() {
     RealVec div(nd);
     operators::div_strong(fine_, u_[0], u_[1], u_[2], div);
     const RealVec& w = fine_.gs->inverse_multiplicity();
-    real_t s = 0;
-    for (usize i = 0; i < nd; ++i)
-      s += div[i] * div[i] * fine_.coef->mass[i] * w[i];
+    const RealVec& mass = fine_.coef->mass;
+    real_t s = fine_.dev().reduce_sum(
+        static_cast<lidx_t>(nd), [&](lidx_t begin, lidx_t end) {
+          real_t acc = 0;
+          for (lidx_t i = begin; i < end; ++i) {
+            const usize u = static_cast<usize>(i);
+            acc += div[u] * div[u] * mass[u] * w[u];
+          }
+          return acc;
+        });
     fine_.comm->allreduce(&s, 1, comm::ReduceOp::kSum);
     info.divergence = std::sqrt(s);
   }

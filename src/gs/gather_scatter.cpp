@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "device/workspace.hpp"
+
 namespace felis::gs {
 
 namespace {
@@ -19,8 +21,12 @@ real_t combine(GsOp op, real_t a, real_t b) {
 }  // namespace
 
 GatherScatter::GatherScatter(const std::vector<gidx_t>& node_ids,
-                             comm::Communicator& comm, int channel)
-    : comm_(comm), num_dofs_(node_ids.size()), tag_(kGsTagBase + channel) {
+                             comm::Communicator& comm, int channel,
+                             device::Backend* backend)
+    : comm_(comm),
+      backend_(backend),
+      num_dofs_(node_ids.size()),
+      tag_(kGsTagBase + channel) {
   // Sort (id, dof) pairs by id to derive unique ids and their dof lists.
   std::vector<lidx_t> order(node_ids.size());
   std::iota(order.begin(), order.end(), 0);
@@ -82,18 +88,26 @@ void GatherScatter::apply(RealVec& field, GsOp op, Profiler* prof) const {
                   "gather-scatter field size mismatch: " << field.size()
                                                          << " != " << num_dofs_);
   const usize num_unique = dof_start_.size() - 1;
-  RealVec val(num_unique);
+  device::WorkspaceFrame scratch;
+  RealVec& val = scratch.vec(num_unique);
 
-  // Phase 1 — local gather: combine duplicates within this rank.
-  for (usize u = 0; u < num_unique; ++u) {
-    if (!active_[u]) continue;
-    const lidx_t begin = dof_start_[u];
-    const lidx_t end = dof_start_[u + 1];
-    real_t v = field[static_cast<usize>(dofs_[static_cast<usize>(begin)])];
-    for (lidx_t i = begin + 1; i < end; ++i)
-      v = combine(op, v, field[static_cast<usize>(dofs_[static_cast<usize>(i)])]);
-    val[u] = v;
-  }
+  // Phase 1 — local gather: combine duplicates within this rank. Unique ids
+  // have disjoint dof lists, so chunks over u never touch the same entry.
+  dev().parallel_for_blocked(
+      static_cast<lidx_t>(num_unique), /*grain=*/0,
+      [&](lidx_t u0, lidx_t u1, int /*worker*/) {
+        for (lidx_t uu = u0; uu < u1; ++uu) {
+          const usize u = static_cast<usize>(uu);
+          if (!active_[u]) continue;
+          const lidx_t begin = dof_start_[u];
+          const lidx_t end = dof_start_[u + 1];
+          real_t v = field[static_cast<usize>(dofs_[static_cast<usize>(begin)])];
+          for (lidx_t i = begin + 1; i < end; ++i)
+            v = combine(op, v,
+                        field[static_cast<usize>(dofs_[static_cast<usize>(i)])]);
+          val[u] = v;
+        }
+      });
 
   // Phase 2 — shared exchange: buffered sends of my partials, then combine
   // partials received from every neighbour.
@@ -114,14 +128,20 @@ void GatherScatter::apply(RealVec& field, GsOp op, Profiler* prof) const {
     }
   }
 
-  // Phase 3 — scatter combined values back to every duplicate.
-  for (usize u = 0; u < num_unique; ++u) {
-    if (!active_[u]) continue;
-    const lidx_t begin = dof_start_[u];
-    const lidx_t end = dof_start_[u + 1];
-    for (lidx_t i = begin; i < end; ++i)
-      field[static_cast<usize>(dofs_[static_cast<usize>(i)])] = val[u];
-  }
+  // Phase 3 — scatter combined values back to every duplicate (same
+  // disjointness argument as the gather).
+  dev().parallel_for_blocked(
+      static_cast<lidx_t>(num_unique), /*grain=*/0,
+      [&](lidx_t u0, lidx_t u1, int /*worker*/) {
+        for (lidx_t uu = u0; uu < u1; ++uu) {
+          const usize u = static_cast<usize>(uu);
+          if (!active_[u]) continue;
+          const lidx_t begin = dof_start_[u];
+          const lidx_t end = dof_start_[u + 1];
+          for (lidx_t i = begin; i < end; ++i)
+            field[static_cast<usize>(dofs_[static_cast<usize>(i)])] = val[u];
+        }
+      });
   if (prof) prof->add_bytes(2.0 * static_cast<double>(num_dofs_ * sizeof(real_t)));
 }
 

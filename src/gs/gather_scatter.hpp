@@ -21,6 +21,7 @@
 
 #include "comm/comm.hpp"
 #include "common/profiler.hpp"
+#include "device/backend.hpp"
 #include "mesh/partition.hpp"
 
 namespace felis::gs {
@@ -37,13 +38,16 @@ class GatherScatter {
   /// task-overlapped preconditioner runs the coarse-grid GS in parallel with
   /// the fine-level GS, §5.3). Instances used concurrently must use distinct
   /// channels; all ranks must pass the same channel for the same instance.
+  ///
+  /// `backend` dispatches the local gather/scatter phases (null = process
+  /// default). The neighbour exchange stays on the calling thread.
   GatherScatter(const std::vector<gidx_t>& node_ids, comm::Communicator& comm,
-                int channel = 0);
+                int channel = 0, device::Backend* backend = nullptr);
 
   /// Convenience: the ids of a rank-local mesh.
   GatherScatter(const mesh::LocalMesh& lmesh, comm::Communicator& comm,
-                int channel = 0)
-      : GatherScatter(lmesh.node_ids, comm, channel) {}
+                int channel = 0, device::Backend* backend = nullptr)
+      : GatherScatter(lmesh.node_ids, comm, channel, backend) {}
 
   /// In-place gather–scatter on a local dof vector.
   void apply(RealVec& field, GsOp op, Profiler* prof = nullptr) const;
@@ -60,7 +64,12 @@ class GatherScatter {
   usize send_doubles_per_apply() const;
 
  private:
+  device::Backend& dev() const {
+    return backend_ != nullptr ? *backend_ : device::default_backend();
+  }
+
   comm::Communicator& comm_;
+  device::Backend* backend_ = nullptr;  ///< null = process default
   usize num_dofs_ = 0;
   int tag_ = 0;
   std::vector<bool> active_;  ///< unique ids needing gather/scatter work

@@ -11,9 +11,10 @@ SolveStats CgSolver::solve(LinearOperator& op, Preconditioner& precon,
   FELIS_CHECK(b.size() == nd && x.size() == nd);
   SolveStats stats;
 
+  device::Backend& dev = ctx_.dev();
   RealVec r(nd), z(nd), p(nd), w(nd);
   op.apply(x, w);
-  for (usize i = 0; i < nd; ++i) r[i] = b[i] - w[i];
+  operators::vec_sub(dev, b, w, r);
 
   stats.initial_residual = std::sqrt(operators::gdot(ctx_, r, r));
   stats.final_residual = stats.initial_residual;
@@ -38,10 +39,8 @@ SolveStats CgSolver::solve(LinearOperator& op, Preconditioner& precon,
       return stats;
     }
     const real_t alpha = rz / pw;
-    for (usize i = 0; i < nd; ++i) {
-      x[i] += alpha * p[i];
-      r[i] -= alpha * w[i];
-    }
+    operators::vec_axpy(dev, alpha, p, x);
+    operators::vec_axpy(dev, -alpha, w, r);
     stats.iterations = it + 1;
     stats.final_residual = std::sqrt(operators::gdot(ctx_, r, r));
     if (stats.final_residual <= target) {
@@ -52,7 +51,7 @@ SolveStats CgSolver::solve(LinearOperator& op, Preconditioner& precon,
     const real_t rz_new = operators::gdot(ctx_, r, z);
     const real_t beta = rz_new / rz;
     rz = rz_new;
-    for (usize i = 0; i < nd; ++i) p[i] = z[i] + beta * p[i];
+    operators::vec_xpay(dev, z, beta, p);
   }
   return stats;
 }

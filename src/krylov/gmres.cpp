@@ -29,12 +29,13 @@ SolveStats GmresSolver::solve(LinearOperator& op, Preconditioner& precon,
   RealVec cs(static_cast<usize>(m), 0.0), sn(static_cast<usize>(m), 0.0),
       gamma(static_cast<usize>(m) + 1, 0.0);
   RealVec w(nd);
+  device::Backend& dev = ctx_.dev();
 
   real_t target = -1;
   for (int outer = 0; outer * m < control.max_iterations || outer == 0; ++outer) {
     // r = b - A x.
     op.apply(x, w);
-    for (usize i = 0; i < nd; ++i) v[0][i] = b_eff[i] - w[i];
+    operators::vec_sub(dev, b_eff, w, v[0]);
     if (null_space_mean) operators::remove_null_component(ctx_, v[0]);
     const real_t beta = std::sqrt(operators::gdot(ctx_, v[0], v[0]));
     if (outer == 0) {
@@ -48,7 +49,7 @@ SolveStats GmresSolver::solve(LinearOperator& op, Preconditioner& precon,
       return stats;
     }
     const real_t inv_beta = 1.0 / beta;
-    for (usize i = 0; i < nd; ++i) v[0][i] *= inv_beta;
+    operators::vec_scale(dev, inv_beta, v[0]);
     gamma[0] = beta;
     std::fill(gamma.begin() + 1, gamma.end(), 0.0);
 
@@ -64,31 +65,36 @@ SolveStats GmresSolver::solve(LinearOperator& op, Preconditioner& precon,
         RealVec dots(static_cast<usize>(k) + 1, 0.0);
         for (int j = 0; j <= k; ++j) {
           const RealVec& vj = v[static_cast<usize>(j)];
-          real_t s = 0;
-          for (usize i = 0; i < nd; ++i) s += w[i] * vj[i] * weight[i];
-          dots[static_cast<usize>(j)] = s;
+          dots[static_cast<usize>(j)] =
+              dev.reduce_sum(static_cast<lidx_t>(nd), [&](lidx_t begin,
+                                                          lidx_t end) {
+                real_t s = 0;
+                for (lidx_t i = begin; i < end; ++i) {
+                  const usize u = static_cast<usize>(i);
+                  s += w[u] * vj[u] * weight[u];
+                }
+                return s;
+              });
         }
         ctx_.comm->allreduce(dots.data(), dots.size(), comm::ReduceOp::kSum);
         if (ctx_.prof) ctx_.prof->add_reduction();
         for (int j = 0; j <= k; ++j) {
           h[static_cast<usize>(k)][static_cast<usize>(j)] = dots[static_cast<usize>(j)];
-          const RealVec& vj = v[static_cast<usize>(j)];
-          const real_t hjk = dots[static_cast<usize>(j)];
-          for (usize i = 0; i < nd; ++i) w[i] -= hjk * vj[i];
+          operators::vec_axpy(dev, -dots[static_cast<usize>(j)],
+                              v[static_cast<usize>(j)], w);
         }
       } else {
         // Modified Gram–Schmidt (one reduction per basis vector).
         for (int j = 0; j <= k; ++j) {
           const real_t hjk = operators::gdot(ctx_, w, v[static_cast<usize>(j)]);
           h[static_cast<usize>(k)][static_cast<usize>(j)] = hjk;
-          for (usize i = 0; i < nd; ++i) w[i] -= hjk * v[static_cast<usize>(j)][i];
+          operators::vec_axpy(dev, -hjk, v[static_cast<usize>(j)], w);
         }
       }
       const real_t hk1 = std::sqrt(operators::gdot(ctx_, w, w));
       h[static_cast<usize>(k)][static_cast<usize>(k) + 1] = hk1;
       if (hk1 > 0) {
-        const real_t inv = 1.0 / hk1;
-        for (usize i = 0; i < nd; ++i) v[static_cast<usize>(k) + 1][i] = w[i] * inv;
+        operators::vec_scaled(dev, 1.0 / hk1, w, v[static_cast<usize>(k) + 1]);
       }
       // Apply previous Givens rotations to the new column.
       for (int j = 0; j < k; ++j) {
@@ -126,7 +132,8 @@ SolveStats GmresSolver::solve(LinearOperator& op, Preconditioner& precon,
       y[static_cast<usize>(i)] = s / h[static_cast<usize>(i)][static_cast<usize>(i)];
     }
     for (int j = 0; j < k; ++j)
-      for (usize i = 0; i < nd; ++i) x[i] += y[static_cast<usize>(j)] * z[static_cast<usize>(j)][i];
+      operators::vec_axpy(dev, y[static_cast<usize>(j)],
+                          z[static_cast<usize>(j)], x);
     if (null_space_mean) operators::remove_mean(ctx_, x);
     if (stats.final_residual <= target) {
       stats.converged = true;

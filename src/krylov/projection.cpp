@@ -6,23 +6,24 @@ namespace felis::krylov {
 
 void ResidualProjection::pre_solve(RealVec& b, RealVec& x0) {
   const usize nd = ctx_.num_dofs();
+  device::Backend& dev = ctx_.dev();
   x0.assign(nd, 0.0);
   for (usize k = 0; k < basis_.size(); ++k) {
     // A-orthonormal basis: alpha_k = <x_k, b> gives the A-norm-optimal
     // combination since <x_i, A x_j> = δ_ij.
     const real_t alpha = operators::gdot(ctx_, basis_[k], b);
-    for (usize i = 0; i < nd; ++i) {
-      x0[i] += alpha * basis_[k][i];
-      b[i] -= alpha * a_basis_[k][i];
-    }
+    operators::vec_axpy(dev, alpha, basis_[k], x0);
+    operators::vec_axpy(dev, -alpha, a_basis_[k], b);
   }
 }
 
 void ResidualProjection::post_solve(LinearOperator& op, const RealVec& x0,
                                     const RealVec& dx, RealVec& x) {
   const usize nd = ctx_.num_dofs();
+  device::Backend& dev = ctx_.dev();
   x.resize(nd);
-  for (usize i = 0; i < nd; ++i) x[i] = x0[i] + dx[i];
+  operators::vec_copy(dev, x0, x);
+  operators::vec_add(dev, dx, x);
 
   if (max_vectors_ == 0) return;
   if (basis_.size() >= max_vectors_) {
@@ -38,10 +39,8 @@ void ResidualProjection::post_solve(LinearOperator& op, const RealVec& x0,
   // enough at these basis sizes).
   for (usize k = 0; k < basis_.size(); ++k) {
     const real_t beta = operators::gdot(ctx_, basis_[k], av);
-    for (usize i = 0; i < nd; ++i) {
-      v[i] -= beta * basis_[k][i];
-      av[i] -= beta * a_basis_[k][i];
-    }
+    operators::vec_axpy(dev, -beta, basis_[k], v);
+    operators::vec_axpy(dev, -beta, a_basis_[k], av);
   }
   const real_t norm2 = operators::gdot(ctx_, v, av);
   // Reject directions that are (numerically) A-null or linearly dependent:
@@ -49,10 +48,8 @@ void ResidualProjection::post_solve(LinearOperator& op, const RealVec& x0,
   const real_t vv = operators::gdot(ctx_, v, v);
   if (norm2 <= 0 || !std::isfinite(norm2) || norm2 <= 1e-24 * vv) return;
   const real_t inv = 1.0 / std::sqrt(norm2);
-  for (usize i = 0; i < nd; ++i) {
-    v[i] *= inv;
-    av[i] *= inv;
-  }
+  operators::vec_scale(dev, inv, v);
+  operators::vec_scale(dev, inv, av);
   basis_.push_back(std::move(v));
   a_basis_.push_back(std::move(av));
 }

@@ -4,7 +4,8 @@
 
 namespace felis::krylov {
 
-JacobiPrecon::JacobiPrecon(RealVec diag) : inv_diag_(std::move(diag)) {
+JacobiPrecon::JacobiPrecon(RealVec diag, device::Backend* backend)
+    : inv_diag_(std::move(diag)), backend_(backend) {
   for (real_t& v : inv_diag_) {
     FELIS_CHECK_MSG(v != 0.0, "JacobiPrecon: zero diagonal entry");
     v = 1.0 / v;
@@ -14,7 +15,13 @@ JacobiPrecon::JacobiPrecon(RealVec diag) : inv_diag_(std::move(diag)) {
 void JacobiPrecon::apply(const RealVec& r, RealVec& z) {
   FELIS_CHECK(r.size() == inv_diag_.size());
   z.resize(r.size());
-  for (usize i = 0; i < r.size(); ++i) z[i] = r[i] * inv_diag_[i];
+  dev().parallel_for_blocked(static_cast<lidx_t>(r.size()), /*grain=*/0,
+                             [&](lidx_t begin, lidx_t end, int /*worker*/) {
+                               for (lidx_t i = begin; i < end; ++i) {
+                                 const usize u = static_cast<usize>(i);
+                                 z[u] = r[u] * inv_diag_[u];
+                               }
+                             });
 }
 
 HelmholtzOperator::HelmholtzOperator(const operators::Context& ctx, real_t h1,

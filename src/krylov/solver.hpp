@@ -39,12 +39,18 @@ class IdentityPrecon final : public Preconditioner {
 class JacobiPrecon final : public Preconditioner {
  public:
   /// diag: assembled diagonal (from operators::diag_helmholtz or the coarse
-  /// operator); entries must be nonzero.
-  explicit JacobiPrecon(RealVec diag);
+  /// operator); entries must be nonzero. `backend`: dispatch for the
+  /// pointwise scaling (null = process default).
+  explicit JacobiPrecon(RealVec diag, device::Backend* backend = nullptr);
   void apply(const RealVec& r, RealVec& z) override;
 
  private:
+  device::Backend& dev() const {
+    return backend_ != nullptr ? *backend_ : device::default_backend();
+  }
+
   RealVec inv_diag_;
+  device::Backend* backend_ = nullptr;
 };
 
 struct SolveStats {

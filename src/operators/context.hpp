@@ -4,6 +4,7 @@
 
 #include "comm/comm.hpp"
 #include "common/profiler.hpp"
+#include "device/backend.hpp"
 #include "field/coef.hpp"
 #include "field/space.hpp"
 #include "gs/gather_scatter.hpp"
@@ -20,6 +21,14 @@ struct Context {
   const gs::GatherScatter* gs = nullptr;
   comm::Communicator* comm = nullptr;
   Profiler* prof = nullptr;
+  /// Compute backend every element loop and vector kernel dispatches through;
+  /// null falls back to the process default (FELIS_BACKEND / auto), so a
+  /// zero-initialized Context keeps working.
+  device::Backend* backend = nullptr;
+
+  device::Backend& dev() const {
+    return backend != nullptr ? *backend : device::default_backend();
+  }
 
   lidx_t num_elements() const { return lmesh->num_elements(); }
   lidx_t nodes_per_element() const { return space->nodes_per_element(); }

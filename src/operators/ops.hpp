@@ -52,13 +52,32 @@ class Advector {
   void set_velocity(const RealVec& cx, const RealVec& cy, const RealVec& cz);
 
   /// out += sign · (φ, (c·∇)u) in weak dealiased form (local part; caller
-  /// gather-scatters). Call set_velocity first.
+  /// gather-scatters). Call set_velocity first. Scratch comes from the
+  /// per-thread device::Workspace, so concurrent apply() calls on one
+  /// Advector are safe (set_velocity vs apply is still caller-ordered).
   void apply(const RealVec& u, RealVec& out, real_t sign) const;
 
  private:
   Context ctx_;
-  RealVec cr_, cs_, ct_;        ///< flux coefficients per Gauss node
-  mutable RealVec work_, t1_, t2_, s_;  ///< per-call scratch
+  RealVec cr_, cs_, ct_;  ///< flux coefficients per Gauss node
 };
+
+// ---- backend-dispatched vector kernels (the Krylov/solver BLAS-1 layer) ----
+
+void vec_copy(device::Backend& dev, const RealVec& x, RealVec& y);  ///< y = x
+void vec_fill(device::Backend& dev, real_t a, RealVec& y);          ///< y = a
+void vec_scale(device::Backend& dev, real_t a, RealVec& y);         ///< y *= a
+void vec_shift(device::Backend& dev, real_t a, RealVec& y);         ///< y += a
+/// y += a·x
+void vec_axpy(device::Backend& dev, real_t a, const RealVec& x, RealVec& y);
+/// y = x + a·y
+void vec_xpay(device::Backend& dev, const RealVec& x, real_t a, RealVec& y);
+/// y = a·x
+void vec_scaled(device::Backend& dev, real_t a, const RealVec& x, RealVec& y);
+/// z = x − y
+void vec_sub(device::Backend& dev, const RealVec& x, const RealVec& y,
+             RealVec& z);
+void vec_add(device::Backend& dev, const RealVec& x, RealVec& y);  ///< y += x
+void vec_mul(device::Backend& dev, const RealVec& x, RealVec& y);  ///< y *= x
 
 }  // namespace felis::operators

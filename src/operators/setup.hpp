@@ -19,6 +19,7 @@ struct RankSetup {
   std::unique_ptr<gs::GatherScatter> gs;
   std::unique_ptr<Profiler> prof;
   comm::Communicator* comm = nullptr;
+  device::Backend* backend = nullptr;  ///< null = process default
 
   Context ctx() const {
     Context c;
@@ -28,6 +29,7 @@ struct RankSetup {
     c.gs = gs.get();
     c.comm = comm;
     c.prof = prof.get();
+    c.backend = backend;
     return c;
   }
 };
@@ -35,17 +37,23 @@ struct RankSetup {
 /// `dealias`: build the Gauss-grid geometric factors (required by the
 /// advector). `three_halves_rule`: use the 3/2 overintegration grid (false
 /// collocates advection on the GLL grid — the aliased ablation variant).
+/// `backend`: compute backend carried into every Context built from this
+/// setup (and into the gather–scatter local phases); null = process default
+/// (FELIS_BACKEND env / auto).
 inline RankSetup make_rank_setup(const mesh::HexMesh& global_mesh, int degree,
                                  comm::Communicator& comm, bool dealias,
-                                 bool three_halves_rule = true) {
+                                 bool three_halves_rule = true,
+                                 device::Backend* backend = nullptr) {
   RankSetup s;
   auto locals = mesh::distribute_mesh(global_mesh, degree, comm.size());
   s.lmesh = std::move(locals[static_cast<usize>(comm.rank())]);
   s.space = field::Space::make(degree, three_halves_rule);
   s.coef = field::build_coef(s.lmesh, s.space, dealias);
-  s.gs = std::make_unique<gs::GatherScatter>(s.lmesh, comm);
+  s.gs = std::make_unique<gs::GatherScatter>(s.lmesh, comm, /*channel=*/0,
+                                             backend);
   s.prof = std::make_unique<Profiler>();
   s.comm = &comm;
+  s.backend = backend;
   return s;
 }
 

@@ -1,11 +1,13 @@
 #include "precon/coarse.hpp"
 
+#include "device/workspace.hpp"
 #include "quadrature/basis.hpp"
 
 namespace felis::precon {
 
 operators::RankSetup make_coarse_setup(const mesh::HexMesh& global_mesh,
-                                       comm::Communicator& comm) {
+                                       comm::Communicator& comm,
+                                       device::Backend* backend) {
   operators::RankSetup s;
   auto locals = mesh::distribute_mesh(global_mesh, 1, comm.size());
   s.lmesh = std::move(locals[static_cast<usize>(comm.rank())]);
@@ -13,9 +15,11 @@ operators::RankSetup make_coarse_setup(const mesh::HexMesh& global_mesh,
   s.coef = field::build_coef(s.lmesh, s.space, false);
   // Channel 1: the coarse GS runs concurrently with the fine GS inside the
   // task-overlapped preconditioner and must use its own message stream.
-  s.gs = std::make_unique<gs::GatherScatter>(s.lmesh, comm, /*channel=*/1);
+  s.gs = std::make_unique<gs::GatherScatter>(s.lmesh, comm, /*channel=*/1,
+                                             backend);
   s.prof = std::make_unique<Profiler>();
   s.comm = &comm;
+  s.backend = backend;
   return s;
 }
 
@@ -46,7 +50,7 @@ CoarseSolver::CoarseSolver(const operators::Context& fine,
   op_ = std::make_unique<krylov::HelmholtzOperator>(coarse_, 1.0, 0.0,
                                                     std::vector<lidx_t>{});
   jacobi_ = std::make_unique<krylov::JacobiPrecon>(
-      operators::diag_helmholtz(coarse_, 1.0, 0.0));
+      operators::diag_helmholtz(coarse_, 1.0, 0.0), coarse_.backend);
   rc_.resize(coarse_.num_dofs());
   zc_.resize(coarse_.num_dofs());
 }
@@ -56,36 +60,47 @@ void CoarseSolver::restrict_residual(const RealVec& r_fine,
   const int n = fine_.space->n;
   const lidx_t npe_f = fine_.space->nodes_per_element();
   const RealVec& w = fine_.gs->inverse_multiplicity();
-  RealVec rw(static_cast<usize>(npe_f));
-  RealVec t1(static_cast<usize>(2 * n * n)), t2(static_cast<usize>(4 * n));
   r_coarse.assign(coarse_.num_dofs(), 0.0);
-  for (lidx_t e = 0; e < fine_.num_elements(); ++e) {
-    const usize base_f = static_cast<usize>(e) * static_cast<usize>(npe_f);
-    const usize base_c = static_cast<usize>(e) * 8;
-    for (lidx_t q = 0; q < npe_f; ++q)
-      rw[static_cast<usize>(q)] = r_fine[base_f + static_cast<usize>(q)] *
-                                  w[base_f + static_cast<usize>(q)];
-    // Jᵀ along each axis: n×n×n → 2×n×n → 2×2×n → 2×2×2.
-    field::apply_axis0(jt_, rw.data(), t1.data(), n, n);
-    field::apply_axis1(jt_, t1.data(), t2.data(), 2, n);
-    field::apply_axis2(jt_, t2.data(), r_coarse.data() + base_c, 2, 2);
-  }
+  fine_.dev().parallel_for_blocked(
+      fine_.num_elements(), /*grain=*/0, [&](lidx_t e0, lidx_t e1, int /*worker*/) {
+        device::WorkspaceFrame scratch;
+        RealVec& rw = scratch.vec(static_cast<usize>(npe_f));
+        RealVec& t1 = scratch.vec(static_cast<usize>(2 * n * n));
+        RealVec& t2 = scratch.vec(static_cast<usize>(4 * n));
+        for (lidx_t e = e0; e < e1; ++e) {
+          const usize base_f = static_cast<usize>(e) * static_cast<usize>(npe_f);
+          const usize base_c = static_cast<usize>(e) * 8;
+          for (lidx_t q = 0; q < npe_f; ++q)
+            rw[static_cast<usize>(q)] = r_fine[base_f + static_cast<usize>(q)] *
+                                        w[base_f + static_cast<usize>(q)];
+          // Jᵀ along each axis: n×n×n → 2×n×n → 2×2×n → 2×2×2.
+          field::apply_axis0(jt_, rw.data(), t1.data(), n, n);
+          field::apply_axis1(jt_, t1.data(), t2.data(), 2, n);
+          field::apply_axis2(jt_, t2.data(), r_coarse.data() + base_c, 2, 2);
+        }
+      });
   coarse_.gs->apply(r_coarse, gs::GsOp::kAdd, coarse_.prof);
 }
 
 void CoarseSolver::prolong(const RealVec& z_coarse, RealVec& z_fine) const {
   const int n = fine_.space->n;
   const lidx_t npe_f = fine_.space->nodes_per_element();
-  RealVec t1(static_cast<usize>(n) * 4), t2(static_cast<usize>(n) * static_cast<usize>(n) * 2);
   z_fine.resize(fine_.num_dofs());
-  for (lidx_t e = 0; e < fine_.num_elements(); ++e) {
-    const usize base_f = static_cast<usize>(e) * static_cast<usize>(npe_f);
-    const usize base_c = static_cast<usize>(e) * 8;
-    // J along each axis: 2×2×2 → n×2×2 → n×n×2 → n×n×n.
-    field::apply_axis0(j_, z_coarse.data() + base_c, t1.data(), 2, 2);
-    field::apply_axis1(j_, t1.data(), t2.data(), n, 2);
-    field::apply_axis2(j_, t2.data(), z_fine.data() + base_f, n, n);
-  }
+  fine_.dev().parallel_for_blocked(
+      fine_.num_elements(), /*grain=*/0, [&](lidx_t e0, lidx_t e1, int /*worker*/) {
+        device::WorkspaceFrame scratch;
+        RealVec& t1 = scratch.vec(static_cast<usize>(n) * 4);
+        RealVec& t2 =
+            scratch.vec(static_cast<usize>(n) * static_cast<usize>(n) * 2);
+        for (lidx_t e = e0; e < e1; ++e) {
+          const usize base_f = static_cast<usize>(e) * static_cast<usize>(npe_f);
+          const usize base_c = static_cast<usize>(e) * 8;
+          // J along each axis: 2×2×2 → n×2×2 → n×n×2 → n×n×n.
+          field::apply_axis0(j_, z_coarse.data() + base_c, t1.data(), 2, 2);
+          field::apply_axis1(j_, t1.data(), t2.data(), n, 2);
+          field::apply_axis2(j_, t2.data(), z_fine.data() + base_f, n, n);
+        }
+      });
 }
 
 void CoarseSolver::solve(const RealVec& r_fine, RealVec& z_fine) {

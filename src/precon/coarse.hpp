@@ -49,7 +49,10 @@ class CoarseSolver {
 
 /// Build the degree-1 companion setup for a fine setup over the same global
 /// mesh (same RCB partition — partitioning is degree-independent).
+/// `backend`: compute backend for the coarse contexts/GS; null = process
+/// default. Pass the same backend as the fine setup.
 operators::RankSetup make_coarse_setup(const mesh::HexMesh& global_mesh,
-                                       comm::Communicator& comm);
+                                       comm::Communicator& comm,
+                                       device::Backend* backend = nullptr);
 
 }  // namespace felis::precon

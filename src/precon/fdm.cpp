@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "device/workspace.hpp"
 #include "linalg/decomp.hpp"
 
 namespace felis::precon {
@@ -60,7 +61,11 @@ FdmSolver::FdmSolver(const operators::Context& ctx) : ctx_(ctx) {
     return static_cast<usize>(i + n * (j + n * k));
   };
 
-  for (lidx_t e = 0; e < nelem; ++e) {
+  // Each element's eigendecompositions are independent; dispatch the setup
+  // loop too (it is O(nelem·n³) with dense eigensolves — not cheap).
+  ctx.dev().parallel_for_blocked(nelem, /*grain=*/0, [&](lidx_t e0, lidx_t e1,
+                                                         int /*worker*/) {
+  for (lidx_t e = e0; e < e1; ++e) {
     const usize base = static_cast<usize>(e) * static_cast<usize>(npe);
     // Average extent of the element along each reference direction.
     real_t length[3] = {0, 0, 0};
@@ -119,6 +124,7 @@ FdmSolver::FdmSolver(const operators::Context& ctx) : ctx_(ctx) {
       lambda_[static_cast<usize>(3 * e + dir)] = eig.values;
     }
   }
+  });
 }
 
 void FdmSolver::apply(const RealVec& r, RealVec& z) const {
@@ -128,8 +134,12 @@ void FdmSolver::apply(const RealVec& r, RealVec& z) const {
   FELIS_CHECK(r.size() == ctx_.num_dofs());
   z.resize(r.size());
 
-  RealVec t1(static_cast<usize>(npe)), t2(static_cast<usize>(npe));
-  for (lidx_t e = 0; e < ctx_.num_elements(); ++e) {
+  ctx_.dev().parallel_for_blocked(ctx_.num_elements(), /*grain=*/0,
+                                  [&](lidx_t e0, lidx_t e1, int /*worker*/) {
+  device::WorkspaceFrame scratch;
+  RealVec& t1 = scratch.vec(static_cast<usize>(npe));
+  RealVec& t2 = scratch.vec(static_cast<usize>(npe));
+  for (lidx_t e = e0; e < e1; ++e) {
     const usize base = static_cast<usize>(e) * static_cast<usize>(npe);
     const field::Op1D& sr = s_[static_cast<usize>(3 * e + 0)];
     const field::Op1D& ss = s_[static_cast<usize>(3 * e + 1)];
@@ -158,6 +168,7 @@ void FdmSolver::apply(const RealVec& r, RealVec& z) const {
     field::apply_axis1(ss, t2.data(), t1.data(), n, n);
     field::apply_axis2(st, t1.data(), z.data() + base, n, n);
   }
+  });
   if (ctx_.prof)
     ctx_.prof->add_flops(static_cast<double>(ctx_.num_elements()) * 12.0 *
                          std::pow(n, 4));

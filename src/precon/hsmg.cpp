@@ -1,5 +1,7 @@
 #include "precon/hsmg.hpp"
 
+#include "operators/ops.hpp"
+
 namespace felis::precon {
 
 HsmgPrecon::HsmgPrecon(const operators::Context& fine,
@@ -22,8 +24,7 @@ void HsmgPrecon::apply_fine(const RealVec& r, RealVec& z_fine) {
   // Average the overlapping local solutions across element interfaces and
   // ranks (partition-of-unity weighting).
   fine_.gs->apply(z_fine, gs::GsOp::kAdd, fine_.prof);
-  const RealVec& w = fine_.gs->inverse_multiplicity();
-  for (usize i = 0; i < z_fine.size(); ++i) z_fine[i] *= w[i];
+  operators::vec_mul(fine_.dev(), fine_.gs->inverse_multiplicity(), z_fine);
 }
 
 void HsmgPrecon::apply(const RealVec& r, RealVec& z) {
@@ -72,7 +73,8 @@ void HsmgPrecon::apply(const RealVec& r, RealVec& z) {
     if (prof) prof->pop();
   }
 
-  for (usize i = 0; i < z.size(); ++i) z[i] = z_fine_[i] + z_coarse_[i];
+  operators::vec_copy(fine_.dev(), z_fine_, z);
+  operators::vec_add(fine_.dev(), z_coarse_, z);
 }
 
 }  // namespace felis::precon

@@ -22,7 +22,9 @@
 #include <thread>
 
 #include "comm/comm.hpp"
+#include "device/backend.hpp"
 #include "device/stream.hpp"
+#include "device/workspace.hpp"
 #include "field/tensor.hpp"
 #include "gs/gather_scatter.hpp"
 #include "insitu/async_pod.hpp"
@@ -333,9 +335,15 @@ TEST(OverlapStress, TaskParallelHsmgMatchesSerialUnderRepetition) {
   mesh::BoxMeshConfig cfg;
   cfg.nx = cfg.ny = cfg.nz = 2;
   const mesh::HexMesh mesh = mesh::make_box_mesh(cfg);
+  // The OpenMP backend inside the overlapped preconditioner is the hardest
+  // concurrency case in the code: two parallel teams (coarse CG on the stream
+  // thread, fine smoother on the rank thread) dispatch chunks at once, each
+  // pulling scratch from its own OS-thread workspace.
+  device::OpenMpBackend omp(2);
   comm::run_parallel(kRanks, [&](comm::Communicator& comm) {
-    auto fine = operators::make_rank_setup(mesh, /*degree=*/4, comm, false);
-    auto coarse = precon::make_coarse_setup(mesh, comm);
+    auto fine =
+        operators::make_rank_setup(mesh, /*degree=*/4, comm, false, true, &omp);
+    auto coarse = precon::make_coarse_setup(mesh, comm, &omp);
     const operators::Context fctx = fine.ctx();
     const operators::Context cctx = coarse.ctx();
     RealVec r(fctx.num_dofs());
@@ -355,6 +363,122 @@ TEST(OverlapStress, TaskParallelHsmgMatchesSerialUnderRepetition) {
             << "rep " << rep << " rank " << comm.rank();
     }
   });
+}
+
+// ---- backend-dispatched kernels / per-thread workspaces ---------------------
+
+TEST(KernelStress, SharedAdvectorConcurrentApplyMatchesSerial) {
+  // The historical race: Advector::apply used mutable member scratch, so two
+  // threads applying the SAME instance corrupted each other. Scratch now
+  // comes from the per-thread device::Workspace; concurrent apply() calls on
+  // one instance must be clean under TSan and agree with a serial reference.
+  mesh::BoxMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 2;
+  const mesh::HexMesh mesh = mesh::make_box_mesh(cfg);
+  comm::SelfComm comm;
+  device::OpenMpBackend omp(2);
+  auto setup = operators::make_rank_setup(mesh, /*degree=*/4, comm,
+                                          /*dealias=*/true, true, &omp);
+  const operators::Context ctx = setup.ctx();
+  const usize nd = ctx.num_dofs();
+  RealVec cx(nd), cy(nd), cz(nd), u(nd);
+  for (usize i = 0; i < nd; ++i) {
+    cx[i] = std::sin(0.5 * ctx.coef->x[i]);
+    cy[i] = std::cos(0.3 * ctx.coef->y[i]);
+    cz[i] = 0.2 * ctx.coef->z[i];
+    u[i] = std::sin(ctx.coef->x[i] + ctx.coef->y[i]);
+  }
+  operators::Advector adv(ctx);
+  adv.set_velocity(cx, cy, cz);
+  RealVec ref(nd, 0.0);
+  adv.apply(u, ref, -1.0);
+
+  constexpr int kThreads = 3;
+  constexpr int kReps = 12;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<unsigned>(t) * 131u + 7u);
+      RealVec out(nd);
+      for (int rep = 0; rep < kReps; ++rep) {
+        std::fill(out.begin(), out.end(), 0.0);
+        jitter(rng);
+        adv.apply(u, out, -1.0);
+        for (usize i = 0; i < nd; ++i)
+          ASSERT_EQ(out[i], ref[i]) << "thread " << t << " rep " << rep;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(KernelStress, AxHelmholtzUnderOpenMpBackendMatchesSerial) {
+  // The same kernel dispatched through serial and multi-threaded backends,
+  // hammered from concurrent caller threads: workspace frames must hand every
+  // chunk disjoint scratch (TSan verifies), results must be bitwise equal.
+  mesh::BoxMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 2;
+  const mesh::HexMesh mesh = mesh::make_box_mesh(cfg);
+  comm::SelfComm comm;
+  device::SerialBackend serial;
+  device::OpenMpBackend omp(4);
+  auto s_setup = operators::make_rank_setup(mesh, 5, comm, false, true, &serial);
+  auto p_setup = operators::make_rank_setup(mesh, 5, comm, false, true, &omp);
+  const operators::Context sc = s_setup.ctx(), pc = p_setup.ctx();
+  const usize nd = sc.num_dofs();
+  RealVec u(nd);
+  for (usize i = 0; i < nd; ++i)
+    u[i] = std::cos(1.7 * sc.coef->x[i]) * sc.coef->z[i];
+  RealVec ref(nd);
+  operators::ax_helmholtz(sc, u, ref, 1.1, 0.3);
+
+  constexpr int kThreads = 2;
+  constexpr int kReps = 10;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<unsigned>(t) * 53u + 11u);
+      RealVec out(nd);
+      for (int rep = 0; rep < kReps; ++rep) {
+        jitter(rng);
+        operators::ax_helmholtz(pc, u, out, 1.1, 0.3);
+        for (usize i = 0; i < nd; ++i)
+          ASSERT_EQ(out[i], ref[i]) << "thread " << t << " rep " << rep;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(KernelStress, WorkspaceFramesNestAcrossConcurrentDispatch) {
+  // Nested frames (kernel calling kernel) on many OS threads at once: each
+  // thread's LIFO arena must stay private and restore cleanly.
+  device::OpenMpBackend omp(4);
+  constexpr int kOuter = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kOuter; ++t) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < 50; ++rep) {
+        omp.parallel_for_blocked(64, /*grain=*/4,
+                                 [&](lidx_t begin, lidx_t end, int /*worker*/) {
+                                   device::WorkspaceFrame outer;
+                                   RealVec& a = outer.vec(64);
+                                   for (lidx_t i = begin; i < end; ++i)
+                                     a[static_cast<usize>(i)] =
+                                         static_cast<real_t>(i);
+                                   device::WorkspaceFrame inner;
+                                   RealVec& b = inner.vec(32);
+                                   b[0] = a[static_cast<usize>(begin)];
+                                   ASSERT_NE(&a, &b);
+                                   for (lidx_t i = begin; i < end; ++i)
+                                     ASSERT_EQ(a[static_cast<usize>(i)],
+                                               static_cast<real_t>(i));
+                                 });
+        ASSERT_EQ(device::Workspace::mine().depth(), 0u);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
 }
 
 // ---- in-situ snapshot stream / async POD ------------------------------------

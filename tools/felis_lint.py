@@ -18,6 +18,13 @@ Rules
                       contiguous run of same-style includes is sorted.
   build-artifacts     No build trees or compiler outputs tracked by git
                       (build*/ , *.o, CMakeCache.txt, bench JSON dumps, ...).
+  raw-element-loop    Hot-path code (src/operators/, src/precon/, src/gs/)
+                      must not iterate elements with a raw
+                      `for (lidx_t e = 0; e < nelem; ...)` loop; dispatch
+                      through device::Backend::parallel_for_blocked so every
+                      backend (serial, OpenMP, future accelerators) executes
+                      it. Chunk-callback loops (`for (lidx_t e = e0; ...)`)
+                      are the sanctioned form and do not match.
 
 Usage
 -----
@@ -37,10 +44,22 @@ import tempfile
 HEADER_DIRS = ("src", "tests", "bench", "examples")
 LIBRARY_DIR = "src"
 STDOUT_EXEMPT = {os.path.join("src", "common", "logger.cpp")}
+HOT_PATH_DIRS = (
+    os.path.join("src", "operators"),
+    os.path.join("src", "precon"),
+    os.path.join("src", "gs"),
+)
 
 RAW_ABORT_RE = re.compile(r"(?<![\w.])(assert|abort|exit)\s*\(")
 STDOUT_RE = re.compile(r"std::cout|std::cerr|(?<![\w.])(printf|fprintf|puts)\s*\(")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+# A from-zero element loop: `for (lidx_t e = 0; e < nelem ...)` (any loop
+# variable, bound spelled nelem / num_elements() / *.num_elements()). The
+# blocked-dispatch chunk form starts at the chunk begin (e0), so it never
+# starts at literal 0 and does not match.
+RAW_ELEMENT_LOOP_RE = re.compile(
+    r"for\s*\(\s*lidx_t\s+\w+\s*=\s*0\s*;\s*\w+\s*<\s*"
+    r"[\w.\->]*(?:nelem\b|num_elements\s*\(\s*\))")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^>"]+)[>"]')
 
 TRACKED_ARTIFACT_RES = [
@@ -258,12 +277,31 @@ def check_build_artifacts(root):
     return out
 
 
+def check_raw_element_loop(root):
+    out = []
+    for d in HOT_PATH_DIRS:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for path in iter_files(root, (d,), {".hpp", ".cpp"}):
+            code = strip_comments_and_strings(open(path, encoding="utf-8").read())
+            for lineno, line in enumerate(code.splitlines(), 1):
+                if RAW_ELEMENT_LOOP_RE.search(line):
+                    out.append(Violation(
+                        rel(root, path), lineno, "raw-element-loop",
+                        "raw from-zero element loop in hot-path code; "
+                        "dispatch it through "
+                        "device::Backend::parallel_for_blocked"))
+    return out
+
+
 ALL_CHECKS = [
     check_raw_abort,
     check_stray_stdout,
     check_headers,
     check_include_order,
     check_build_artifacts,
+    check_raw_element_loop,
 ]
 
 
@@ -314,6 +352,17 @@ SEEDED = {
     "src/good/clean.hpp": (
         None,
         "/// \\file clean.hpp\n#pragma once\nint n();\n"),
+    "src/operators/raw_loop.cpp": (
+        "raw-element-loop",
+        "void f(int nelem) {\n"
+        "  for (lidx_t e = 0; e < nelem; ++e) {}\n"
+        "}\n"),
+    "src/operators/dispatched_loop.cpp": (
+        None,
+        "void g(int e0, int e1) {\n"
+        "  for (lidx_t e = e0; e < e1; ++e) {}\n"
+        "  for (lidx_t q = 0; q < npe; ++q) {}\n"
+        "}\n"),
 }
 
 
@@ -347,7 +396,9 @@ def self_test():
         if not by_rule.get("build-artifacts"):
             failures.append("rule 'build-artifacts' did not fire on seeded "
                             "build/CMakeCache.txt")
-        clean_hits = [v for v in violations if v.path.startswith("src/good/")]
+        clean_paths = {relp for relp, (rule, _) in SEEDED.items() if rule is None}
+        clean_hits = [v for v in violations
+                      if v.path.startswith("src/good/") or v.path in clean_paths]
         for v in clean_hits:
             failures.append(f"false positive on clean file: {v}")
 

@@ -30,6 +30,7 @@ RbcConfig config_from_params(const ParamMap& params) {
       params.get_int("fluid.gmres_restart", config.flow.gmres_restart);
   config.flow.coarse_iterations =
       params.get_int("fluid.coarse_iterations", config.flow.coarse_iterations);
+  config.checkpoint = fluid::CheckpointManager::config_from_params(params);
   return config;
 }
 
@@ -78,6 +79,27 @@ void RbcSimulation::set_initial_conditions() {
   for (auto* c : {&solver_->u(), &solver_->v(), &solver_->w()})
     std::fill(c->begin(), c->end(), 0.0);
   solver_->apply_boundary_conditions();
+}
+
+fluid::Checkpoint RbcSimulation::capture_checkpoint() const {
+  return fluid::capture_checkpoint(*solver_);
+}
+
+void RbcSimulation::restore_checkpoint(const fluid::Checkpoint& checkpoint) {
+  fluid::restore_checkpoint(*solver_, checkpoint);
+}
+
+bool RbcSimulation::maybe_checkpoint(fluid::CheckpointManager& manager) const {
+  if (!manager.due(solver_->step_count())) return false;
+  manager.write(capture_checkpoint());
+  return true;
+}
+
+bool RbcSimulation::restore_latest(const fluid::CheckpointManager& manager) {
+  const std::optional<fluid::Checkpoint> latest = manager.load_latest();
+  if (!latest) return false;
+  restore_checkpoint(*latest);
+  return true;
 }
 
 RbcDiagnostics RbcSimulation::diagnostics() const {

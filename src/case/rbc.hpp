@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "common/params.hpp"
+#include "fluid/checkpoint_manager.hpp"
 #include "fluid/flow_solver.hpp"
 
 namespace felis::rbc {
@@ -39,6 +40,10 @@ struct RbcConfig {
   real_t perturbation_lx = 1.0;
   real_t perturbation_ly = 1.0;
   unsigned seed = 7;
+
+  /// Crash-safe checkpoint rotation (checkpoint.* keys in the case file);
+  /// checkpoint.every = 0 leaves checkpointing under driver control.
+  fluid::CheckpointConfig checkpoint;
 };
 
 /// Physical diagnostics of the current state.
@@ -63,6 +68,17 @@ class RbcSimulation {
 
   fluid::StepInfo step() { return solver_->step(); }
   fluid::FlowSolver& solver() { return *solver_; }
+  const fluid::FlowSolver& solver() const { return *solver_; }
+
+  /// Checkpoint/restart. capture/restore move the complete integrator state
+  /// (fields, histories, clock, projection basis, last-step stats);
+  /// maybe_checkpoint writes through the manager when the current step is
+  /// due; restore_latest recovers the newest valid checkpoint after a crash
+  /// (false = cold start, nothing usable on disk).
+  fluid::Checkpoint capture_checkpoint() const;
+  void restore_checkpoint(const fluid::Checkpoint& checkpoint);
+  bool maybe_checkpoint(fluid::CheckpointManager& manager) const;
+  bool restore_latest(const fluid::CheckpointManager& manager);
 
   RbcDiagnostics diagnostics() const;
 
@@ -79,7 +95,9 @@ class RbcSimulation {
 ///   case.Ra, case.Pr, case.dt, case.perturbation, case.seed,
 ///   case.perturbation_lx/_ly, fluid.max_order, fluid.overlap (bool),
 ///   fluid.use_projection, fluid.pressure_tol, fluid.velocity_tol,
-///   fluid.gmres_restart, fluid.coarse_iterations.
+///   fluid.gmres_restart, fluid.coarse_iterations, checkpoint.dir,
+///   checkpoint.basename, checkpoint.keep, checkpoint.every,
+///   checkpoint.compress, checkpoint.retries, checkpoint.backoff_ms.
 /// Missing keys keep their defaults.
 RbcConfig config_from_params(const ParamMap& params);
 

@@ -1,0 +1,50 @@
+/// \file crc32.hpp
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) checksums.
+///
+/// The checkpoint container stores a CRC per header and per payload section
+/// so that torn writes, truncation and silent bitrot are detected on load
+/// instead of being deserialized into garbage integrator state. The
+/// polynomial and bit order match zlib's crc32, so external tooling can
+/// verify felis checkpoint sections without linking felis.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace felis {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// CRC-32 of `n` bytes. Chainable: pass a previous result as `seed` to
+/// extend the checksum over a split buffer.
+inline std::uint32_t crc32(const std::byte* data, usize n,
+                           std::uint32_t seed = 0) {
+  const auto& table = detail::crc32_table();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (usize i = 0; i < n; ++i)
+    c = table[(c ^ static_cast<std::uint32_t>(data[i])) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+inline std::uint32_t crc32(const std::vector<std::byte>& data,
+                           std::uint32_t seed = 0) {
+  return crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace felis

@@ -26,15 +26,22 @@ ParamMap ParamMap::parse(const std::string& text) {
     ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line = line.substr(0, hash);
-    line = trim(line);
-    if (line.empty()) continue;
-    const auto eq = line.find('=');
-    FELIS_CHECK_MSG(eq != std::string::npos,
-                    "ParamMap::parse: missing '=' on line " << lineno);
-    const std::string key = trim(line.substr(0, eq));
-    const std::string value = trim(line.substr(eq + 1));
-    FELIS_CHECK_MSG(!key.empty(), "ParamMap::parse: empty key on line " << lineno);
-    params.set(key, value);
+    // ';' separates statements within a line, so one-line configs
+    // ("mode=corrupt; at=2") parse the same as multi-line files.
+    std::istringstream statements(line);
+    std::string stmt;
+    while (std::getline(statements, stmt, ';')) {
+      stmt = trim(stmt);
+      if (stmt.empty()) continue;
+      const auto eq = stmt.find('=');
+      FELIS_CHECK_MSG(eq != std::string::npos,
+                      "ParamMap::parse: missing '=' on line " << lineno);
+      const std::string key = trim(stmt.substr(0, eq));
+      const std::string value = trim(stmt.substr(eq + 1));
+      FELIS_CHECK_MSG(!key.empty(),
+                      "ParamMap::parse: empty key on line " << lineno);
+      params.set(key, value);
+    }
   }
   return params;
 }

@@ -3,8 +3,10 @@
 /// Neko's JSON case files).
 ///
 /// Keys are dotted paths ("case.fluid.Ra"); values are stored as strings and
-/// converted on access. Parsing accepts simple `key = value` lines with `#`
-/// comments, enough to express every example/bench case in this repo.
+/// converted on access. Parsing accepts simple `key = value` statements
+/// separated by newlines or ';' (so single-line configs like the
+/// FELIS_FAULT_INJECT environment variable parse too) with `#` comments,
+/// enough to express every example/bench case in this repo.
 #pragma once
 
 #include <map>
@@ -19,7 +21,8 @@ class ParamMap {
  public:
   ParamMap() = default;
 
-  /// Parse `key = value` lines; '#' starts a comment; blank lines ignored.
+  /// Parse `key = value` statements separated by newlines or ';'; '#' starts
+  /// a comment (to end of line); blank statements ignored.
   static ParamMap parse(const std::string& text);
 
   void set(const std::string& key, const std::string& value);

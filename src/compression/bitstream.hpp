@@ -69,7 +69,12 @@ class BitReader {
 
   std::uint64_t get_gamma() {
     int nbits = 0;
-    while (!get_bit()) ++nbits;
+    while (!get_bit()) {
+      ++nbits;
+      // A valid writer emits at most 63 leading zeros; more means the
+      // stream is corrupt (and 1ull << 64 would be undefined below).
+      FELIS_CHECK_MSG(nbits < 64, "BitReader: corrupt gamma code");
+    }
     const std::uint64_t payload = get_bits(nbits);
     return ((1ull << nbits) | payload) - 1;
   }

@@ -81,12 +81,17 @@ void canonical_codes(const std::vector<int>& lengths,
     const int lb = lengths[static_cast<usize>(b)];
     return la < lb || (la == lb && a < b);
   });
-  std::uint32_t code = 0;
+  // 64-bit accumulator: with untrusted (decoder-side) lengths the shift can
+  // reach 32 bits, which is undefined on uint32; the Kraft check below then
+  // rejects over-subscribed length sets before they can mis-decode.
+  std::uint64_t code = 0;
   int prev_len = 0;
   for (const int s : order) {
     const int len = lengths[static_cast<usize>(s)];
     code <<= (len - prev_len);
-    codes[static_cast<usize>(s)] = code;
+    FELIS_CHECK_MSG((code >> len) == 0,
+                    "corrupt Huffman stream: over-subscribed code lengths");
+    codes[static_cast<usize>(s)] = static_cast<std::uint32_t>(code);
     ++code;
     prev_len = len;
   }
@@ -120,9 +125,16 @@ std::vector<std::byte> huffman_encode(const std::vector<std::byte>& input) {
 std::vector<std::byte> huffman_decode(const std::vector<std::byte>& blob) {
   BitReader in(blob);
   const usize count = in.get_gamma();
+  // Every symbol costs at least one payload bit, so a count beyond 8 bits
+  // per input byte cannot be genuine — reject before reserving memory.
+  FELIS_CHECK_MSG(count <= blob.size() * 8,
+                  "corrupt Huffman stream: impossible symbol count");
   std::vector<int> lengths(kSymbols);
-  for (int s = 0; s < kSymbols; ++s)
+  for (int s = 0; s < kSymbols; ++s) {
     lengths[static_cast<usize>(s)] = static_cast<int>(in.get_bits(6));
+    FELIS_CHECK_MSG(lengths[static_cast<usize>(s)] <= kMaxCodeLength,
+                    "corrupt Huffman stream: code length overflow");
+  }
   std::vector<std::uint32_t> codes;
   canonical_codes(lengths, codes);
 

@@ -1,15 +1,31 @@
 #include "fluid/checkpoint.hpp"
 
 #include <cstring>
-#include <fstream>
 
+#include "common/crc32.hpp"
 #include "compression/huffman.hpp"
+#include "io/atomic_file.hpp"
 
 namespace felis::fluid {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x46454c4953434b31ull;  // "FELISCK1"
+constexpr std::uint64_t kMagic = 0x46454c4953434b32ull;  // "FELISCK2"
+constexpr std::uint64_t kVersion = 2;
+constexpr std::uint64_t kFlagCoded = 1ull;
+constexpr std::uint64_t kSectionCount = 4;
+// Header: magic, version, flags, section count, payload CRC (decoded
+// sections), stored CRC (payload bytes as written), header CRC (first 48
+// bytes). All u64.
+constexpr usize kHeaderBytes = 56;
+constexpr usize kHeaderCrcOffset = 48;
+
+enum SectionId : std::uint64_t {
+  kSectionState = 1,
+  kSectionProjection = 2,
+  kSectionStats = 3,
+  kSectionInsitu = 4,
+};
 
 void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
   // Byte-wise append (a range insert here trips a GCC 12
@@ -18,101 +34,306 @@ void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
     out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
 }
 
-std::uint64_t get_u64(const std::vector<std::byte>& in, usize& pos) {
-  FELIS_CHECK_MSG(pos + 8 <= in.size(), "checkpoint: truncated header");
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i)
-    v |= static_cast<std::uint64_t>(in[pos + static_cast<usize>(i)]) << (8 * i);
-  pos += 8;
-  return v;
-}
-
 void put_vec(std::vector<std::byte>& out, const RealVec& v) {
   put_u64(out, v.size());
   const auto* raw = reinterpret_cast<const std::byte*>(v.data());
   out.insert(out.end(), raw, raw + v.size() * sizeof(real_t));
 }
 
-RealVec get_vec(const std::vector<std::byte>& in, usize& pos) {
-  const usize n = get_u64(in, pos);
-  FELIS_CHECK_MSG(pos + n * sizeof(real_t) <= in.size(),
-                  "checkpoint: truncated field");
-  RealVec v(n);
-  std::memcpy(v.data(), in.data() + pos, n * sizeof(real_t));
-  pos += n * sizeof(real_t);
-  return v;
+/// Bounds-checked cursor over an untrusted byte range. Every length read
+/// from the blob is validated against the bytes actually remaining — never
+/// by arithmetic on the attacker-controlled value alone — so a hostile
+/// length field cannot wrap a multiplication past the end of the buffer.
+struct Reader {
+  const std::vector<std::byte>& in;
+  const std::string& src;
+  usize pos = 0;
+
+  std::uint64_t u64(const char* what) {
+    FELIS_CHECK_MSG(in.size() - pos >= 8,
+                    "checkpoint " << src << ": truncated " << what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(in[pos + static_cast<usize>(i)])
+           << (8 * i);
+    pos += 8;
+    return v;
+  }
+
+  RealVec vec(const char* what) {
+    const std::uint64_t n = u64(what);
+    // `n <= remaining / sizeof` instead of `pos + n * sizeof <= size`: the
+    // latter wraps for large n and the check passes right before an
+    // out-of-bounds memcpy.
+    FELIS_CHECK_MSG(n <= (in.size() - pos) / sizeof(real_t),
+                    "checkpoint " << src << ": field length " << n
+                                  << " overruns the blob in " << what);
+    RealVec v(static_cast<usize>(n));
+    if (n != 0) {
+      std::memcpy(v.data(), in.data() + pos,
+                  static_cast<usize>(n) * sizeof(real_t));
+      pos += static_cast<usize>(n) * sizeof(real_t);
+    }
+    return v;
+  }
+
+  std::vector<std::byte> bytes(usize n, const char* what) {
+    FELIS_CHECK_MSG(n <= in.size() - pos,
+                    "checkpoint " << src << ": truncated " << what);
+    std::vector<std::byte> v(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                             in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return v;
+  }
+
+  void expect_end(const char* what) {
+    FELIS_CHECK_MSG(pos == in.size(), "checkpoint " << src << ": "
+                                                    << in.size() - pos
+                                                    << " trailing byte(s) after "
+                                                    << what);
+  }
+};
+
+void put_section(std::vector<std::byte>& out, std::uint64_t id,
+                 const std::vector<std::byte>& content) {
+  put_u64(out, id);
+  put_u64(out, content.size());
+  put_u64(out, crc32(content));
+  out.insert(out.end(), content.begin(), content.end());
+}
+
+std::vector<std::byte> take_section(Reader& r, std::uint64_t want_id,
+                                    const char* name) {
+  const std::uint64_t id = r.u64("section header");
+  FELIS_CHECK_MSG(id == want_id, "checkpoint " << r.src << ": expected section "
+                                               << name << " (id " << want_id
+                                               << "), found id " << id);
+  const std::uint64_t len = r.u64("section header");
+  const std::uint64_t want_crc = r.u64("section header");
+  FELIS_CHECK_MSG(len <= r.in.size() - r.pos,
+                  "checkpoint " << r.src << ": section " << name
+                                << " length overruns the blob");
+  std::vector<std::byte> content = r.bytes(static_cast<usize>(len), name);
+  FELIS_CHECK_MSG(crc32(content) == want_crc,
+                  "checkpoint " << r.src << ": section " << name
+                                << " checksum mismatch (corrupted file)");
+  return content;
+}
+
+std::vector<std::byte> encode_state(const Checkpoint& ck) {
+  std::vector<std::byte> out;
+  put_u64(out, static_cast<std::uint64_t>(ck.step));
+  RealVec clock{ck.time};
+  put_vec(out, clock);
+  for (const RealVec* f :
+       {&ck.u, &ck.v, &ck.w, &ck.temperature, &ck.pressure})
+    put_vec(out, *f);
+  for (const auto* arr : {&ck.u_lag1, &ck.u_lag2, &ck.f_lag0, &ck.f_lag1})
+    for (const RealVec& f : *arr) put_vec(out, f);
+  for (const RealVec* f : {&ck.t_lag1, &ck.t_lag2, &ck.g_lag0, &ck.g_lag1})
+    put_vec(out, *f);
+  return out;
+}
+
+void decode_state(Reader r, Checkpoint& ck) {
+  ck.step = static_cast<std::int64_t>(r.u64("state step"));
+  const RealVec clock = r.vec("state clock");
+  FELIS_CHECK_MSG(clock.size() == 1,
+                  "checkpoint " << r.src << ": malformed clock field");
+  ck.time = clock[0];
+  for (RealVec* f : {&ck.u, &ck.v, &ck.w, &ck.temperature, &ck.pressure})
+    *f = r.vec("state field");
+  for (auto* arr : {&ck.u_lag1, &ck.u_lag2, &ck.f_lag0, &ck.f_lag1})
+    for (RealVec& f : *arr) f = r.vec("state history");
+  for (RealVec* f : {&ck.t_lag1, &ck.t_lag2, &ck.g_lag0, &ck.g_lag1})
+    *f = r.vec("state history");
+  r.expect_end("state section");
+}
+
+std::vector<std::byte> encode_projection(const Checkpoint& ck) {
+  const auto& p = ck.projection;
+  FELIS_CHECK_MSG(p.basis.size() == p.a_basis.size(),
+                  "checkpoint: projection basis/a_basis size mismatch");
+  std::vector<std::byte> out;
+  put_u64(out, p.present ? 1 : 0);
+  put_u64(out, p.basis.size());
+  for (usize k = 0; k < p.basis.size(); ++k) {
+    put_vec(out, p.basis[k]);
+    put_vec(out, p.a_basis[k]);
+  }
+  return out;
+}
+
+void decode_projection(Reader r, Checkpoint& ck) {
+  auto& p = ck.projection;
+  p.present = r.u64("projection flag") != 0;
+  const std::uint64_t count = r.u64("projection count");
+  p.basis.clear();
+  p.a_basis.clear();
+  for (std::uint64_t k = 0; k < count; ++k) {
+    p.basis.push_back(r.vec("projection basis"));
+    p.a_basis.push_back(r.vec("projection A-basis"));
+  }
+  r.expect_end("projection section");
+}
+
+std::vector<std::byte> encode_stats(const Checkpoint& ck) {
+  const StepInfo& info = ck.solver_stats.info;
+  std::vector<std::byte> out;
+  put_u64(out, ck.solver_stats.present ? 1 : 0);
+  put_u64(out, static_cast<std::uint64_t>(info.step));
+  put_u64(out, static_cast<std::uint64_t>(info.pressure_iterations));
+  put_u64(out, static_cast<std::uint64_t>(info.velocity_iterations));
+  put_u64(out, static_cast<std::uint64_t>(info.scalar_iterations));
+  put_vec(out,
+          RealVec{info.time, info.cfl, info.pressure_residual, info.divergence});
+  return out;
+}
+
+void decode_stats(Reader r, Checkpoint& ck) {
+  auto& s = ck.solver_stats;
+  s.present = r.u64("stats flag") != 0;
+  s.info.step = static_cast<std::int64_t>(r.u64("stats step"));
+  s.info.pressure_iterations = static_cast<int>(r.u64("stats iterations"));
+  s.info.velocity_iterations = static_cast<int>(r.u64("stats iterations"));
+  s.info.scalar_iterations = static_cast<int>(r.u64("stats iterations"));
+  const RealVec reals = r.vec("stats reals");
+  FELIS_CHECK_MSG(reals.size() == 4,
+                  "checkpoint " << r.src << ": malformed stats section");
+  s.info.time = reals[0];
+  s.info.cfl = reals[1];
+  s.info.pressure_residual = reals[2];
+  s.info.divergence = reals[3];
+  r.expect_end("stats section");
+}
+
+std::vector<std::byte> encode_insitu(const Checkpoint& ck) {
+  const auto& is = ck.insitu;
+  std::vector<std::byte> out;
+  put_u64(out, is.present ? 1 : 0);
+  put_u64(out, is.pushed);
+  put_u64(out, is.popped);
+  put_u64(out, is.has_pod ? 1 : 0);
+  put_u64(out, is.pod.count);
+  put_u64(out, is.pod.rows);
+  put_vec(out, is.pod.sigma);
+  put_vec(out, is.pod.modes);
+  put_vec(out, RealVec{is.pod.discarded_energy});
+  return out;
+}
+
+void decode_insitu(Reader r, Checkpoint& ck) {
+  auto& is = ck.insitu;
+  is.present = r.u64("insitu flag") != 0;
+  is.pushed = r.u64("insitu pushed cursor");
+  is.popped = r.u64("insitu popped cursor");
+  is.has_pod = r.u64("insitu pod flag") != 0;
+  is.pod.count = static_cast<usize>(r.u64("insitu pod count"));
+  is.pod.rows = static_cast<usize>(r.u64("insitu pod rows"));
+  is.pod.sigma = r.vec("insitu pod sigma");
+  is.pod.modes = r.vec("insitu pod modes");
+  const usize rank = is.pod.sigma.size();
+  // Division-based consistency check: rows × rank can wrap for hostile
+  // headers, modes.size()/rank cannot.
+  FELIS_CHECK_MSG(rank == 0 ? is.pod.modes.empty()
+                            : (is.pod.modes.size() % rank == 0 &&
+                               is.pod.modes.size() / rank == is.pod.rows),
+                  "checkpoint " << r.src
+                                << ": POD mode matrix shape mismatch");
+  const RealVec tail = r.vec("insitu pod energy");
+  FELIS_CHECK_MSG(tail.size() == 1,
+                  "checkpoint " << r.src << ": malformed insitu section");
+  is.pod.discarded_energy = tail[0];
+  r.expect_end("insitu section");
 }
 
 }  // namespace
 
 std::vector<std::byte> Checkpoint::serialize(bool lossless_compress) const {
+  std::vector<std::byte> sections;
+  put_section(sections, kSectionState, encode_state(*this));
+  put_section(sections, kSectionProjection, encode_projection(*this));
+  put_section(sections, kSectionStats, encode_stats(*this));
+  put_section(sections, kSectionInsitu, encode_insitu(*this));
+
   std::vector<std::byte> payload;
-  put_u64(payload, static_cast<std::uint64_t>(step));
-  RealVec clock{time};
-  put_vec(payload, clock);
-  for (const RealVec* f : {&u, &v, &w, &temperature, &pressure})
-    put_vec(payload, *f);
-  for (const auto* arr : {&u_lag1, &u_lag2, &f_lag0, &f_lag1})
-    for (const RealVec& f : *arr) put_vec(payload, f);
-  for (const RealVec* f : {&t_lag1, &t_lag2, &g_lag0, &g_lag1})
-    put_vec(payload, *f);
+  if (lossless_compress)
+    payload = compression::huffman_encode(sections);
+  else
+    payload = sections;
 
   std::vector<std::byte> blob;
+  blob.reserve(kHeaderBytes + payload.size());
   put_u64(blob, kMagic);
-  put_u64(blob, lossless_compress ? 1 : 0);
-  if (lossless_compress) {
-    const std::vector<std::byte> coded = compression::huffman_encode(payload);
-    blob.insert(blob.end(), coded.begin(), coded.end());
-  } else {
-    blob.insert(blob.end(), payload.begin(), payload.end());
-  }
+  put_u64(blob, kVersion);
+  put_u64(blob, lossless_compress ? kFlagCoded : 0);
+  put_u64(blob, kSectionCount);
+  put_u64(blob, crc32(sections));
+  put_u64(blob, crc32(payload));
+  put_u64(blob, crc32(blob.data(), kHeaderCrcOffset));
+  blob.insert(blob.end(), payload.begin(), payload.end());
   return blob;
 }
 
-Checkpoint Checkpoint::deserialize(const std::vector<std::byte>& blob) {
-  usize pos = 0;
-  FELIS_CHECK_MSG(get_u64(blob, pos) == kMagic, "not a felis checkpoint");
-  const bool coded = get_u64(blob, pos) != 0;
-  std::vector<std::byte> payload;
-  if (coded) {
-    payload = compression::huffman_decode(
-        std::vector<std::byte>(blob.begin() + static_cast<std::ptrdiff_t>(pos),
-                               blob.end()));
-    pos = 0;
-  } else {
-    payload.assign(blob.begin() + static_cast<std::ptrdiff_t>(pos), blob.end());
-    pos = 0;
-  }
+Checkpoint Checkpoint::deserialize(const std::vector<std::byte>& blob,
+                                   const std::string& source) {
+  Reader hdr{blob, source};
+  const std::uint64_t magic = hdr.u64("header");
+  FELIS_CHECK_MSG(magic == kMagic,
+                  "checkpoint " << source
+                                << ": bad magic (not a felis FELISCK2 "
+                                   "checkpoint, or a pre-v2 file)");
+  const std::uint64_t version = hdr.u64("header");
+  FELIS_CHECK_MSG(version == kVersion, "checkpoint "
+                                           << source
+                                           << ": unsupported container version "
+                                           << version);
+  const std::uint64_t flags = hdr.u64("header");
+  const std::uint64_t nsections = hdr.u64("header");
+  const std::uint64_t payload_crc = hdr.u64("header");
+  const std::uint64_t stored_crc = hdr.u64("header");
+  const std::uint64_t header_crc = hdr.u64("header");
+  FELIS_CHECK_MSG(header_crc == crc32(blob.data(), kHeaderCrcOffset),
+                  "checkpoint " << source
+                                << ": header checksum mismatch (truncated or "
+                                   "corrupted file)");
+  FELIS_CHECK_MSG(flags == 0 || flags == kFlagCoded,
+                  "checkpoint " << source << ": unknown compression flag word "
+                                << flags << " (supported: 0 = raw, 1 = "
+                                << "Huffman-coded)");
+  FELIS_CHECK_MSG(nsections == kSectionCount,
+                  "checkpoint " << source << ": expected " << kSectionCount
+                                << " sections, header claims " << nsections);
+
+  const std::vector<std::byte> payload(
+      blob.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes), blob.end());
+  FELIS_CHECK_MSG(crc32(payload) == stored_crc,
+                  "checkpoint " << source
+                                << ": payload checksum mismatch (truncated or "
+                                   "corrupted file)");
+  const std::vector<std::byte> sections =
+      (flags & kFlagCoded) ? compression::huffman_decode(payload) : payload;
+  FELIS_CHECK_MSG(crc32(sections) == payload_crc,
+                  "checkpoint " << source
+                                << ": decoded payload checksum mismatch");
+
   Checkpoint ck;
-  ck.step = static_cast<std::int64_t>(get_u64(payload, pos));
-  ck.time = get_vec(payload, pos).at(0);
-  for (RealVec* f : {&ck.u, &ck.v, &ck.w, &ck.temperature, &ck.pressure})
-    *f = get_vec(payload, pos);
-  for (auto* arr : {&ck.u_lag1, &ck.u_lag2, &ck.f_lag0, &ck.f_lag1})
-    for (RealVec& f : *arr) f = get_vec(payload, pos);
-  for (RealVec* f : {&ck.t_lag1, &ck.t_lag2, &ck.g_lag0, &ck.g_lag1})
-    *f = get_vec(payload, pos);
+  Reader r{sections, source};
+  decode_state(Reader{take_section(r, kSectionState, "state"), source}, ck);
+  decode_projection(
+      Reader{take_section(r, kSectionProjection, "projection"), source}, ck);
+  decode_stats(Reader{take_section(r, kSectionStats, "stats"), source}, ck);
+  decode_insitu(Reader{take_section(r, kSectionInsitu, "insitu"), source}, ck);
+  r.expect_end("last section");
   return ck;
 }
 
 void Checkpoint::save(const std::string& path, bool lossless_compress) const {
-  const std::vector<std::byte> blob = serialize(lossless_compress);
-  std::ofstream out(path, std::ios::binary);
-  FELIS_CHECK_MSG(out.good(), "cannot open checkpoint file " << path);
-  out.write(reinterpret_cast<const char*>(blob.data()),
-            static_cast<std::streamsize>(blob.size()));
-  FELIS_CHECK_MSG(out.good(), "failed writing checkpoint " << path);
+  io::atomic_write_file(path, serialize(lossless_compress));
 }
 
 Checkpoint Checkpoint::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  FELIS_CHECK_MSG(in.good(), "cannot open checkpoint file " << path);
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::vector<std::byte> blob(static_cast<usize>(size));
-  in.read(reinterpret_cast<char*>(blob.data()), size);
-  FELIS_CHECK_MSG(in.good(), "failed reading checkpoint " << path);
-  return deserialize(blob);
+  return deserialize(io::read_file(path), path);
 }
 
 Checkpoint capture_checkpoint(const FlowSolver& solver) {
@@ -134,6 +355,13 @@ Checkpoint capture_checkpoint(const FlowSolver& solver) {
   ck.t_lag2 = solver.scalar_history(2);
   ck.g_lag0 = solver.scalar_forcing_history(0);
   ck.g_lag1 = solver.scalar_forcing_history(1);
+  if (const krylov::ResidualProjection* proj = solver.pressure_projection()) {
+    ck.projection.present = true;
+    ck.projection.basis = proj->basis();
+    ck.projection.a_basis = proj->a_basis();
+  }
+  ck.solver_stats.present = true;
+  ck.solver_stats.info = solver.last_step_info();
   return ck;
 }
 
@@ -155,6 +383,29 @@ void restore_checkpoint(FlowSolver& solver, const Checkpoint& ck) {
   solver.set_scalar_forcing_history(1, ck.g_lag1);
   solver.set_step_index(ck.step);
   solver.set_time(ck.time);
+  if (krylov::ResidualProjection* proj = solver.pressure_projection()) {
+    if (ck.projection.present)
+      proj->set_state(ck.projection.basis, ck.projection.a_basis);
+    else
+      proj->clear();
+  }
+  if (ck.solver_stats.present) solver.set_last_step_info(ck.solver_stats.info);
+}
+
+void attach_insitu_state(Checkpoint& ck, const insitu::SnapshotStream& stream,
+                         const insitu::StreamingPod* pod) {
+  ck.insitu.present = true;
+  ck.insitu.pushed = stream.pushed_total();
+  ck.insitu.popped = stream.popped_total();
+  ck.insitu.has_pod = pod != nullptr;
+  if (pod != nullptr) ck.insitu.pod = pod->capture();
+}
+
+void restore_insitu_state(const Checkpoint& ck, insitu::SnapshotStream& stream,
+                          insitu::StreamingPod* pod) {
+  if (!ck.insitu.present) return;
+  stream.restore_cursors(ck.insitu.pushed, ck.insitu.popped);
+  if (pod != nullptr && ck.insitu.has_pod) pod->restore(ck.insitu.pod);
 }
 
 }  // namespace felis::fluid

@@ -1,23 +1,37 @@
 /// \file checkpoint.hpp
 /// \brief Checkpoint/restart of a FlowSolver: serialize the complete
-/// integrator state (fields + BDF/EXT histories + clock) so a run continues
-/// *bit-for-bit* after a restart.
+/// integrator state (fields + BDF/EXT histories + clock + acceleration
+/// state) so a run continues *bit-for-bit* after a restart.
 ///
 /// Data management is half of the paper's workflow story (§5.2): long RBC
 /// campaigns at Ra→1e15 run for weeks and restart constantly. felis
-/// checkpoints carry every history field the order-3 integrator needs, so a
-/// restarted run continues the original trajectory bit-for-bit when the
-/// residual-projection space is disabled, and to solver tolerance otherwise
-/// (the projection basis is derived acceleration state, deliberately not
-/// persisted) — both verified in tests/test_checkpoint.cpp. Optionally, the
-/// snapshot payload is routed
-/// through the in-situ compressor's lossless back end (the fields must stay
-/// exact; only the encoding changes).
+/// checkpoints carry every history field the order-3 integrator needs plus
+/// the residual-projection basis, the last step's solve statistics and the
+/// in-situ stream cursors, so a restarted run continues the original
+/// trajectory bit-for-bit — projection enabled or not — as verified in
+/// tests/test_checkpoint.cpp.
+///
+/// Container format "FELISCK2" (all integers little-endian u64):
+///   header  : magic 0x46454c4953434b32 ("FELISCK2"), version (2), flags
+///             (bit 0 = Huffman-coded payload; all other values rejected),
+///             section count (4), payload CRC-32 (decoded section stream),
+///             stored CRC-32 (payload bytes as written), header CRC-32
+///             (first 48 bytes) — 56 bytes total.
+///   payload : section stream, optionally entropy-coded by the in-situ
+///             compressor's lossless back end (fields must stay exact; only
+///             the encoding changes). Each section: id, length, CRC-32 of
+///             the content, content. Sections appear in fixed ascending id
+///             order: 1 = integrator state, 2 = projection basis,
+///             3 = solver statistics, 4 = in-situ cursors/POD.
+/// Every byte on disk is covered by a CRC, so truncation, torn writes and
+/// single-byte bitrot are always detected at load time.
 #pragma once
 
 #include <string>
 
 #include "fluid/flow_solver.hpp"
+#include "insitu/snapshot_stream.hpp"
+#include "insitu/streaming_pod.hpp"
 
 namespace felis::fluid {
 
@@ -32,20 +46,66 @@ struct Checkpoint {
   std::array<RealVec, 3> f_lag0, f_lag1;
   RealVec g_lag0, g_lag1;
 
+  /// Pressure residual-projection space: without it a restarted run computes
+  /// different initial guesses than the uninterrupted one and the
+  /// trajectories drift apart within a step (bitwise, not physically).
+  struct ProjectionState {
+    bool present = false;
+    std::vector<RealVec> basis;
+    std::vector<RealVec> a_basis;
+  } projection;
+
+  /// Last step's solve statistics (warm-start/reporting state): anything the
+  /// driver keys on them — adaptive tolerances, logging cadence — sees the
+  /// same values after restart as in the uninterrupted run.
+  struct SolverStatsState {
+    bool present = false;
+    StepInfo info;
+  } solver_stats;
+
+  /// In-situ pipeline cursors: snapshot-stream push/pop counters and the
+  /// streaming-POD accumulator, so the analysis side resumes exactly where
+  /// the crashed run left off.
+  struct InsituState {
+    bool present = false;
+    std::uint64_t pushed = 0;
+    std::uint64_t popped = 0;
+    bool has_pod = false;
+    insitu::PodState pod;
+  } insitu;
+
   /// Serialize to a self-describing binary blob (optionally entropy-coded).
   std::vector<std::byte> serialize(bool lossless_compress = true) const;
-  static Checkpoint deserialize(const std::vector<std::byte>& blob);
 
-  /// File convenience wrappers.
+  /// Parse + validate a blob. `source` names the origin (a path for files)
+  /// in every error message. Throws felis::Error — never crashes or reads
+  /// out of bounds — on any malformed, truncated or corrupted input.
+  static Checkpoint deserialize(const std::vector<std::byte>& blob,
+                                const std::string& source = "<memory>");
+
+  /// File convenience wrappers; save() goes through io::atomic_write_file so
+  /// a crash mid-save never destroys the previous checkpoint.
   void save(const std::string& path, bool lossless_compress = true) const;
   static Checkpoint load(const std::string& path);
 };
 
-/// Capture the solver's complete integrator state.
+/// Capture the solver's complete integrator state (fields, histories, clock,
+/// projection basis, last-step statistics).
 Checkpoint capture_checkpoint(const FlowSolver& solver);
 
 /// Restore a state captured by capture_checkpoint; the next step() continues
-/// the original run exactly (same order, same histories, same clock).
+/// the original run exactly (same order, same histories, same clock, same
+/// pressure initial guesses).
 void restore_checkpoint(FlowSolver& solver, const Checkpoint& checkpoint);
+
+/// Attach / restore the in-situ pipeline state (stream cursors + optional
+/// POD accumulator). Kept separate from capture/restore_checkpoint because
+/// the in-situ side lives outside the FlowSolver.
+void attach_insitu_state(Checkpoint& checkpoint,
+                         const insitu::SnapshotStream& stream,
+                         const insitu::StreamingPod* pod);
+void restore_insitu_state(const Checkpoint& checkpoint,
+                          insitu::SnapshotStream& stream,
+                          insitu::StreamingPod* pod);
 
 }  // namespace felis::fluid

@@ -1,0 +1,132 @@
+#include "fluid/checkpoint_manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "io/atomic_file.hpp"
+
+namespace felis::fluid {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kExtension = ".ckpt";
+
+/// Parse the step index out of `<basename>.<digits>.ckpt`; nullopt for
+/// anything else (tmp files, foreign files, malformed names).
+std::optional<std::int64_t> step_from_name(const std::string& name,
+                                           const std::string& basename) {
+  const std::string prefix = basename + ".";
+  if (name.size() <= prefix.size() + std::string(kExtension).size()) return {};
+  if (name.compare(0, prefix.size(), prefix) != 0) return {};
+  if (name.compare(name.size() - 5, 5, kExtension) != 0) return {};
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - 5);
+  if (digits.empty()) return {};
+  std::int64_t step = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return {};
+    step = step * 10 + (c - '0');
+  }
+  return step;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(CheckpointConfig config,
+                                     io::FaultInjector* fault)
+    : config_(std::move(config)), fault_(fault) {
+  FELIS_CHECK_MSG(config_.keep >= 1, "checkpoint rotation needs keep >= 1");
+  FELIS_CHECK_MSG(config_.max_retries >= 0,
+                  "checkpoint retry count must be >= 0");
+}
+
+CheckpointConfig CheckpointManager::config_from_params(const ParamMap& params) {
+  CheckpointConfig def;
+  CheckpointConfig c;
+  c.directory = params.get_string("checkpoint.dir", def.directory);
+  c.basename = params.get_string("checkpoint.basename", def.basename);
+  c.keep = params.get_int("checkpoint.keep", def.keep);
+  c.every = params.get_int("checkpoint.every", static_cast<int>(def.every));
+  c.compress = params.get_bool("checkpoint.compress", def.compress);
+  c.max_retries = params.get_int("checkpoint.retries", def.max_retries);
+  c.retry_backoff_ms =
+      params.get_int("checkpoint.backoff_ms", def.retry_backoff_ms);
+  return c;
+}
+
+std::string CheckpointManager::path_for_step(std::int64_t step) const {
+  std::ostringstream os;
+  os << config_.basename << "." << std::setw(10) << std::setfill('0') << step
+     << kExtension;
+  return (fs::path(config_.directory) / os.str()).string();
+}
+
+bool CheckpointManager::due(std::int64_t step) const {
+  return config_.every > 0 && step > 0 && step % config_.every == 0;
+}
+
+std::string CheckpointManager::write(const Checkpoint& ck) {
+  fs::create_directories(config_.directory);
+  const std::string path = path_for_step(ck.step);
+  const std::vector<std::byte> blob = ck.serialize(config_.compress);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      io::atomic_write_file(path, blob, fault_);
+      break;
+    } catch (const io::InjectedCrash&) {
+      throw;  // a simulated process death: no retry, like the real thing
+    } catch (const Error&) {
+      if (attempt >= config_.max_retries) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<std::int64_t>(config_.retry_backoff_ms) << attempt));
+    }
+  }
+  // Prune the rotation; never the file just written.
+  std::vector<std::string> files = list();
+  while (files.size() > static_cast<usize>(config_.keep)) {
+    std::error_code ec;
+    fs::remove(files.front(), ec);  // best effort: pruning must not kill a run
+    files.erase(files.begin());
+  }
+  return path;
+}
+
+std::vector<std::string> CheckpointManager::list() const {
+  std::vector<std::pair<std::int64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const auto step =
+        step_from_name(entry.path().filename().string(), config_.basename);
+    if (step) found.emplace_back(*step, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [step, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+std::optional<Checkpoint> CheckpointManager::load_latest(
+    std::string* path_out) const {
+  std::vector<std::string> files = list();
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    try {
+      Checkpoint ck = Checkpoint::load(*it);
+      if (path_out) *path_out = *it;
+      return ck;
+    } catch (const Error&) {
+      // Torn, truncated or bit-rotted checkpoint: skip to the next-oldest.
+      continue;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace felis::fluid

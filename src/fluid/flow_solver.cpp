@@ -355,6 +355,7 @@ StepInfo FlowSolver::step() {
   ++step_;
   time_ += dt;
   info.time = time_;
+  last_info_ = info;
   return info;
 }
 

@@ -144,6 +144,23 @@ class FlowSolver {
   /// Access to the pressure preconditioner (ablations / tracing).
   precon::HsmgPrecon& pressure_preconditioner() { return *hsmg_; }
 
+  /// Pressure residual-projection space, or nullptr when use_projection is
+  /// off. Exposed so checkpointing can round-trip the basis — it feeds the
+  /// initial guesses, so dropping it on restart breaks bitwise equality.
+  krylov::ResidualProjection* pressure_projection() {
+    return pressure_projection_.get();
+  }
+  const krylov::ResidualProjection* pressure_projection() const {
+    return pressure_projection_.get();
+  }
+
+  /// Statistics of the most recent step() (zero-initialized before the first
+  /// step). Checkpointed so restart-time decisions keyed on them — adaptive
+  /// tolerances, logging cadence — see the same values as an uninterrupted
+  /// run.
+  const StepInfo& last_step_info() const { return last_info_; }
+  void set_last_step_info(const StepInfo& info) { last_info_ = info; }
+
  private:
   void compute_forcing(std::array<RealVec, 3>& f_weak, RealVec& g_weak);
 
@@ -151,6 +168,7 @@ class FlowSolver {
   FlowConfig config_;
   std::int64_t step_ = 0;
   real_t time_ = 0;
+  StepInfo last_info_;
 
   // Current and history fields: u_[c] current; histories hold previous steps
   // (index 0 = n-1 after rotation).

@@ -1,5 +1,7 @@
 #include "insitu/snapshot_stream.hpp"
 
+#include "common/error.hpp"
+
 // Locking discipline
 // ------------------
 // A single mutex guards the deque, `closed_`, and both condition variables;
@@ -18,6 +20,7 @@ bool SnapshotStream::push(RealVec snapshot) {
   cv_push_.wait(lock, [this] { return queue_.size() < capacity_ || closed_; });
   if (closed_) return false;
   queue_.push_back(std::move(snapshot));
+  ++pushed_total_;
   cv_pop_.notify_one();
   return true;
 }
@@ -28,6 +31,7 @@ std::optional<RealVec> SnapshotStream::pop() {
   if (queue_.empty()) return std::nullopt;
   RealVec snapshot = std::move(queue_.front());
   queue_.pop_front();
+  ++popped_total_;
   cv_push_.notify_one();
   return snapshot;
 }
@@ -47,6 +51,28 @@ usize SnapshotStream::size() const {
 bool SnapshotStream::closed() const {
   std::unique_lock<std::mutex> lock(mutex_);
   return closed_;
+}
+
+std::uint64_t SnapshotStream::pushed_total() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return pushed_total_;
+}
+
+std::uint64_t SnapshotStream::popped_total() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return popped_total_;
+}
+
+void SnapshotStream::restore_cursors(std::uint64_t pushed,
+                                     std::uint64_t popped) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  FELIS_CHECK_MSG(queue_.empty() && !closed_,
+                  "SnapshotStream::restore_cursors requires an idle stream");
+  FELIS_CHECK_MSG(popped <= pushed,
+                  "SnapshotStream::restore_cursors: popped cursor " << popped
+                      << " ahead of pushed cursor " << pushed);
+  pushed_total_ = pushed;
+  popped_total_ = popped;
 }
 
 }  // namespace felis::insitu

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -36,12 +37,26 @@ class SnapshotStream {
   usize size() const;
   bool closed() const;
 
+  /// Lifetime cursors (survive across checkpoint/restart): total snapshots
+  /// ever pushed / popped, monotone even as the queue drains. The producer
+  /// resumes numbering at pushed_total(), the consumer at popped_total().
+  std::uint64_t pushed_total() const;
+  std::uint64_t popped_total() const;
+
+  /// Reinstall cursors from a checkpoint. Only valid on an idle stream
+  /// (empty queue, not closed): snapshots that were in flight when the
+  /// original run died are gone, so pushed may exceed popped — the producer
+  /// side decides whether to regenerate them.
+  void restore_cursors(std::uint64_t pushed, std::uint64_t popped);
+
  private:
   usize capacity_;
   mutable std::mutex mutex_;
   std::condition_variable cv_push_, cv_pop_;
   std::deque<RealVec> queue_;
   bool closed_ = false;
+  std::uint64_t pushed_total_ = 0;
+  std::uint64_t popped_total_ = 0;
 };
 
 }  // namespace felis::insitu

@@ -1,5 +1,6 @@
 #include "insitu/streaming_pod.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace felis::insitu {
@@ -81,6 +82,32 @@ RealVec StreamingPod::mode(usize k) const {
   for (usize i = 0; i < m.size(); ++i)
     m[i] = u_(static_cast<lidx_t>(i), static_cast<lidx_t>(k)) / sqrt_w_[i];
   return m;
+}
+
+PodState StreamingPod::capture() const {
+  PodState state;
+  state.count = count_;
+  state.rows = sqrt_w_.size();
+  state.discarded_energy = discarded_energy_;
+  state.sigma = sigma_;
+  if (!sigma_.empty())
+    state.modes.assign(u_.data(), u_.data() + sqrt_w_.size() * sigma_.size());
+  return state;
+}
+
+void StreamingPod::restore(const PodState& state) {
+  FELIS_CHECK_MSG(state.rows == sqrt_w_.size(),
+                  "StreamingPod::restore: state has " << state.rows
+                      << " rows, pod has " << sqrt_w_.size());
+  const usize rank = state.sigma.size();
+  FELIS_CHECK_MSG(state.modes.size() == state.rows * rank,
+                  "StreamingPod::restore: mode matrix shape mismatch");
+  count_ = state.count;
+  discarded_energy_ = state.discarded_energy;
+  sigma_ = state.sigma;
+  u_ = linalg::Matrix(static_cast<lidx_t>(state.rows),
+                      static_cast<lidx_t>(rank));
+  std::copy(state.modes.begin(), state.modes.end(), u_.data());
 }
 
 real_t StreamingPod::captured_energy(usize k) const {

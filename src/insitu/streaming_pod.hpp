@@ -14,6 +14,18 @@
 
 namespace felis::insitu {
 
+/// Checkpointable accumulator state of a StreamingPod: everything needed to
+/// resume the incremental SVD exactly where a crashed run left off. `modes`
+/// is the weighted-coordinate basis, rows × sigma.size(), column-major
+/// (matching linalg::Matrix storage).
+struct PodState {
+  usize count = 0;
+  usize rows = 0;
+  real_t discarded_energy = 0;
+  RealVec sigma;
+  RealVec modes;
+};
+
 class StreamingPod {
  public:
   /// `weights`: quadrature weights (mass × inverse multiplicity) defining
@@ -36,6 +48,12 @@ class StreamingPod {
   /// Energy captured by the leading k modes: Σ_{i<k} σ²_i / Σ σ²_total
   /// (total includes discarded tail energy accumulated during truncation).
   real_t captured_energy(usize k) const;
+
+  /// Checkpoint the accumulator; restore() on a StreamingPod built with the
+  /// same weights continues the stream bitwise-identically to one that was
+  /// never interrupted.
+  PodState capture() const;
+  void restore(const PodState& state);
 
  private:
   RealVec sqrt_w_;            ///< √weights: maps physical → weighted coords

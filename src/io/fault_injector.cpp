@@ -1,0 +1,53 @@
+#include "io/fault_injector.hpp"
+
+#include <cstdlib>
+
+namespace felis::io {
+
+namespace {
+FaultInjector::Mode parse_mode(const std::string& s) {
+  using Mode = FaultInjector::Mode;
+  if (s == "none") return Mode::kNone;
+  if (s == "fail-write") return Mode::kFailWrite;
+  if (s == "truncate") return Mode::kTruncate;
+  if (s == "corrupt") return Mode::kCorrupt;
+  if (s == "crash") return Mode::kCrash;
+  FELIS_CHECK_MSG(false, "fault injector: unknown mode '"
+                             << s
+                             << "' (expected none | fail-write | truncate | "
+                                "corrupt | crash)");
+  return Mode::kNone;  // unreachable
+}
+}  // namespace
+
+FaultInjector::Config FaultInjector::config_from_params(
+    const ParamMap& params, const std::string& prefix) {
+  Config c;
+  c.mode = parse_mode(params.get_string(prefix + "mode", "none"));
+  c.at = params.get_int(prefix + "at", c.at);
+  c.count = params.get_int(prefix + "count", c.count);
+  const int offset = params.get_int(prefix + "offset", 0);
+  FELIS_CHECK_MSG(c.at >= 1, "fault injector: 'at' is 1-based, got " << c.at);
+  FELIS_CHECK_MSG(c.count >= 0, "fault injector: negative 'count'");
+  FELIS_CHECK_MSG(offset >= 0, "fault injector: negative 'offset'");
+  c.offset = static_cast<usize>(offset);
+  return c;
+}
+
+std::optional<FaultInjector::Config> FaultInjector::config_from_env() {
+  const char* env = std::getenv("FELIS_FAULT_INJECT");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  return config_from_params(ParamMap::parse(env), "");
+}
+
+FaultInjector::Mode FaultInjector::next_write_action() {
+  ++writes_;
+  if (config_.mode == Mode::kNone) return Mode::kNone;
+  if (writes_ >= config_.at && writes_ < config_.at + config_.count) {
+    ++fired_;
+    return config_.mode;
+  }
+  return Mode::kNone;
+}
+
+}  // namespace felis::io

@@ -1,8 +1,7 @@
 #include "io/field_io.hpp"
 
-#include <fstream>
-
 #include "common/error.hpp"
+#include "io/atomic_file.hpp"
 
 namespace felis::io {
 
@@ -18,8 +17,8 @@ void write_vtk(const std::string& path, const mesh::LocalMesh& lmesh,
     FELIS_CHECK_MSG(data && data->size() == num_points,
                     "field '" << name << "' has wrong size");
 
-  std::ofstream out(path);
-  FELIS_CHECK_MSG(out.good(), "cannot open " << path);
+  AtomicFileWriter writer(path);
+  std::ostream& out = writer.stream();
   out << "# vtk DataFile Version 3.0\n"
       << "felis spectral-element field\n"
       << "ASCII\nDATASET UNSTRUCTURED_GRID\n";
@@ -57,13 +56,13 @@ void write_vtk(const std::string& path, const mesh::LocalMesh& lmesh,
     out << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
     for (const real_t v : *data) out << v << '\n';
   }
-  FELIS_CHECK_MSG(out.good(), "failed writing " << path);
+  writer.commit();
 }
 
 void write_csv(const std::string& path, const field::Coef& coef,
                const FieldMap& fields) {
-  std::ofstream out(path);
-  FELIS_CHECK_MSG(out.good(), "cannot open " << path);
+  AtomicFileWriter writer(path);
+  std::ostream& out = writer.stream();
   out << "x,y,z";
   for (const auto& [name, data] : fields) {
     FELIS_CHECK_MSG(data && data->size() == coef.x.size(),
@@ -77,7 +76,7 @@ void write_csv(const std::string& path, const field::Coef& coef,
     for (const auto& [name, data] : fields) out << ',' << (*data)[i];
     out << '\n';
   }
-  FELIS_CHECK_MSG(out.good(), "failed writing " << path);
+  writer.commit();
 }
 
 }  // namespace felis::io

@@ -54,6 +54,8 @@ SolveStats GmresSolver::solve(LinearOperator& op, Preconditioner& precon,
     std::fill(gamma.begin() + 1, gamma.end(), 0.0);
 
     int k = 0;
+    bool happy = false;    ///< breakdown with exact solution in the space
+    bool stalled = false;  ///< degenerate breakdown with no progress possible
     for (; k < m && stats.iterations < control.max_iterations; ++k) {
       // w = A M⁻¹ v_k  (right preconditioning).
       precon.apply(v[static_cast<usize>(k)], z[static_cast<usize>(k)]);
@@ -109,7 +111,15 @@ SolveStats GmresSolver::solve(LinearOperator& op, Preconditioner& precon,
       const real_t a = h[static_cast<usize>(k)][static_cast<usize>(k)];
       const real_t bb = h[static_cast<usize>(k)][static_cast<usize>(k) + 1];
       const real_t rho = std::hypot(a, bb);
-      FELIS_CHECK_MSG(rho > 0, "GMRES breakdown (happy or exact)");
+      if (rho == 0) {
+        // Degenerate breakdown: the rotated column vanished entirely, so
+        // A·z_k added no information (only reachable for a singular
+        // operator). The first k columns already hold the least-squares
+        // optimum — back-substitute those; with k == 0 no progress is
+        // possible at all and the solve must return instead of spinning.
+        stalled = (k == 0);
+        break;
+      }
       cs[static_cast<usize>(k)] = a / rho;
       sn[static_cast<usize>(k)] = bb / rho;
       h[static_cast<usize>(k)][static_cast<usize>(k)] = rho;
@@ -118,6 +128,16 @@ SolveStats GmresSolver::solve(LinearOperator& op, Preconditioner& precon,
       gamma[static_cast<usize>(k)] = cs[static_cast<usize>(k)] * gamma[static_cast<usize>(k)];
       ++stats.iterations;
       stats.final_residual = std::abs(gamma[static_cast<usize>(k) + 1]);
+      if (hk1 == 0) {
+        // Happy breakdown: A M⁻¹ v_k ∈ span{v_0..v_k}, so the small
+        // least-squares residual is exactly zero and the true solution lies
+        // in the current space (v[k+1] was never formed — w is zero).
+        // Back-substitute the k+1 columns and return converged.
+        stats.final_residual = 0.0;
+        happy = true;
+        ++k;
+        break;
+      }
       if (stats.final_residual <= target) {
         ++k;
         break;
@@ -135,11 +155,11 @@ SolveStats GmresSolver::solve(LinearOperator& op, Preconditioner& precon,
       operators::vec_axpy(dev, y[static_cast<usize>(j)],
                           z[static_cast<usize>(j)], x);
     if (null_space_mean) operators::remove_mean(ctx_, x);
-    if (stats.final_residual <= target) {
+    if (happy || stats.final_residual <= target) {
       stats.converged = true;
       return stats;
     }
-    if (stats.iterations >= control.max_iterations) return stats;
+    if (stalled || stats.iterations >= control.max_iterations) return stats;
   }
   return stats;
 }

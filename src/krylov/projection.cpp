@@ -4,6 +4,24 @@
 
 namespace felis::krylov {
 
+void ResidualProjection::set_state(std::vector<RealVec> basis,
+                                   std::vector<RealVec> a_basis) {
+  FELIS_CHECK_MSG(basis.size() == a_basis.size(),
+                  "ResidualProjection::set_state: basis/a_basis size mismatch");
+  const usize nd = ctx_.num_dofs();
+  for (const auto* vecs : {&basis, &a_basis})
+    for (const RealVec& v : *vecs)
+      FELIS_CHECK_MSG(v.size() == nd,
+                      "ResidualProjection::set_state: basis vector length "
+                          << v.size() << " does not match " << nd << " dofs");
+  basis_ = std::move(basis);
+  a_basis_ = std::move(a_basis);
+  while (basis_.size() > max_vectors_) {
+    basis_.erase(basis_.begin());
+    a_basis_.erase(a_basis_.begin());
+  }
+}
+
 void ResidualProjection::pre_solve(RealVec& b, RealVec& x0) {
   const usize nd = ctx_.num_dofs();
   device::Backend& dev = ctx_.dev();

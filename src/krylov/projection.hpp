@@ -43,6 +43,17 @@ class ResidualProjection {
     a_basis_.clear();
   }
 
+  /// Checkpoint access: the basis is *state*, not a pure cache — without it
+  /// a restarted run computes different initial guesses (hence different
+  /// Krylov iterates) than the uninterrupted one, breaking bitwise restart.
+  const std::vector<RealVec>& basis() const { return basis_; }
+  const std::vector<RealVec>& a_basis() const { return a_basis_; }
+
+  /// Install a basis captured by basis()/a_basis() on a compatible context
+  /// (same dof count). Vectors beyond max_vectors are dropped from the
+  /// front, matching what the live accumulation would have retained.
+  void set_state(std::vector<RealVec> basis, std::vector<RealVec> a_basis);
+
  private:
   operators::Context ctx_;
   usize max_vectors_;

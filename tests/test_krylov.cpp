@@ -1,7 +1,8 @@
 // Tests for Krylov solvers: CG and GMRES on manufactured Poisson/Helmholtz
 // problems (including spectral convergence with polynomial order and
-// multi-rank equivalence), Jacobi preconditioning, null-space handling and
-// residual-projection initial guesses.
+// multi-rank equivalence), Jacobi preconditioning, null-space handling,
+// GMRES breakdown recovery (happy and degenerate) and residual-projection
+// initial guesses.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -231,6 +232,94 @@ TEST(Gmres, AllNeumannPressurePoissonWithNullSpace) {
   EXPECT_TRUE(stats.converged);
   operators::remove_mean(ctx, x);
   EXPECT_LT(linf_error(x, exact), 5e-4);
+}
+
+/// out = 0 for every input: every Krylov direction collapses, which used to
+/// trip the `rho > 0` check and abort the whole run.
+class ZeroOperator final : public LinearOperator {
+ public:
+  void apply(const RealVec&, RealVec& out) override {
+    std::fill(out.begin(), out.end(), 0.0);
+  }
+};
+
+/// out = 2u: GMRES finds the exact solution in one iteration, producing a
+/// happy breakdown (h(k+1,k) == 0) on a perfectly healthy system.
+class ScaledIdentityOperator final : public LinearOperator {
+ public:
+  void apply(const RealVec& u, RealVec& out) override {
+    out.resize(u.size());
+    for (usize i = 0; i < u.size(); ++i) out[i] = 2.0 * u[i];
+  }
+};
+
+TEST(Gmres, DegenerateBreakdownReturnsNotConvergedInsteadOfAborting) {
+  mesh::BoxMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 2;
+  comm::SelfComm comm;
+  const auto setup = operators::make_rank_setup(mesh::make_box_mesh(cfg), 3, comm, false);
+  const Context ctx = setup.ctx();
+  ZeroOperator op;
+  IdentityPrecon precon;
+  RealVec b(ctx.num_dofs(), 1.0);
+  RealVec x(ctx.num_dofs(), 0.0);
+  GmresSolver gmres(ctx, 10);
+  SolveControl control;
+  control.abs_tol = 1e-10;
+  control.max_iterations = 50;
+  SolveStats stats;
+  // A·z contributes nothing, so rho == 0 on the very first column: the old
+  // FELIS_CHECK aborted here; now the solve reports failure gracefully.
+  EXPECT_NO_THROW(stats = gmres.solve(op, precon, b, x, control));
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(stats.iterations, 0);
+  EXPECT_EQ(stats.final_residual, stats.initial_residual);
+  for (const real_t xi : x) {
+    ASSERT_TRUE(std::isfinite(xi));
+    ASSERT_EQ(xi, 0.0);  // no spurious update from the dead subspace
+  }
+}
+
+TEST(Gmres, HappyBreakdownReturnsExactSolutionConverged) {
+  mesh::BoxMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 2;
+  comm::SelfComm comm;
+  const auto setup = operators::make_rank_setup(mesh::make_box_mesh(cfg), 4, comm, false);
+  const Context ctx = setup.ctx();
+  // Pick a dof whose inverse multiplicity is exactly 1 (element-interior
+  // node): with b supported only there, every inner product in the solve is
+  // exact in floating point, so the breakdown is hk1 == 0.0 precisely.
+  const RealVec& weight = ctx.gs->inverse_multiplicity();
+  usize dof = weight.size();
+  for (usize i = 0; i < weight.size(); ++i)
+    if (weight[i] == 1.0) {
+      dof = i;
+      break;
+    }
+  ASSERT_LT(dof, weight.size());
+  ScaledIdentityOperator op;
+  IdentityPrecon precon;
+  RealVec b(ctx.num_dofs(), 0.0);
+  b[dof] = 3.0;
+  RealVec x(ctx.num_dofs(), 0.0);
+  GmresSolver gmres(ctx, 10);  // restart length >> iterations needed
+  SolveControl control;
+  control.abs_tol = 1e-14;
+  control.max_iterations = 50;
+  SolveStats stats;
+  // The old code hit FELIS_CHECK("GMRES breakdown") on the exact solve.
+  EXPECT_NO_THROW(stats = gmres.solve(op, precon, b, x, control));
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.iterations, 1);
+  EXPECT_EQ(stats.final_residual, 0.0);
+  // 2x = b with b_d = 3: the happy-breakdown path back-substitutes to the
+  // exact answer, bitwise.
+  EXPECT_EQ(x[dof], 1.5);
+  for (usize i = 0; i < x.size(); ++i) {
+    if (i != dof) {
+      ASSERT_EQ(x[i], 0.0);
+    }
+  }
 }
 
 TEST(Projection, SecondSolveOfSameSystemIsNearlyFree) {

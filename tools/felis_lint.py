@@ -25,6 +25,12 @@ Rules
                       backend (serial, OpenMP, future accelerators) executes
                       it. Chunk-callback loops (`for (lidx_t e = e0; ...)`)
                       are the sanctioned form and do not match.
+  raw-ofstream        Output-producing code (src/io/, src/fluid/) must not
+                      open std::ofstream directly: a crash mid-write leaves a
+                      torn file at the final path. All durable output goes
+                      through io::atomic_write_file / io::AtomicFileWriter
+                      (tmp + fsync + rename), which is the single exempt
+                      implementation site (src/io/atomic_file.*).
 
 Usage
 -----
@@ -49,6 +55,14 @@ HOT_PATH_DIRS = (
     os.path.join("src", "precon"),
     os.path.join("src", "gs"),
 )
+DURABLE_OUTPUT_DIRS = (
+    os.path.join("src", "io"),
+    os.path.join("src", "fluid"),
+)
+OFSTREAM_EXEMPT = {
+    os.path.join("src", "io", "atomic_file.hpp"),
+    os.path.join("src", "io", "atomic_file.cpp"),
+}
 
 RAW_ABORT_RE = re.compile(r"(?<![\w.])(assert|abort|exit)\s*\(")
 STDOUT_RE = re.compile(r"std::cout|std::cerr|(?<![\w.])(printf|fprintf|puts)\s*\(")
@@ -61,6 +75,7 @@ RAW_ELEMENT_LOOP_RE = re.compile(
     r"for\s*\(\s*lidx_t\s+\w+\s*=\s*0\s*;\s*\w+\s*<\s*"
     r"[\w.\->]*(?:nelem\b|num_elements\s*\(\s*\))")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^>"]+)[>"]')
+RAW_OFSTREAM_RE = re.compile(r"std::ofstream\b")
 
 TRACKED_ARTIFACT_RES = [
     re.compile(r"(^|/)build[^/]*/"),
@@ -295,6 +310,26 @@ def check_raw_element_loop(root):
     return out
 
 
+def check_raw_ofstream(root):
+    out = []
+    exempt = {p.replace(os.sep, "/") for p in OFSTREAM_EXEMPT}
+    for d in DURABLE_OUTPUT_DIRS:
+        if not os.path.isdir(os.path.join(root, d)):
+            continue
+        for path in iter_files(root, (d,), {".hpp", ".cpp"}):
+            if rel(root, path) in exempt:
+                continue
+            code = strip_comments_and_strings(open(path, encoding="utf-8").read())
+            for lineno, line in enumerate(code.splitlines(), 1):
+                if RAW_OFSTREAM_RE.search(line):
+                    out.append(Violation(
+                        rel(root, path), lineno, "raw-ofstream",
+                        "direct std::ofstream in durable-output code; a crash "
+                        "mid-write leaves a torn file — use "
+                        "io::atomic_write_file / io::AtomicFileWriter"))
+    return out
+
+
 ALL_CHECKS = [
     check_raw_abort,
     check_stray_stdout,
@@ -302,6 +337,7 @@ ALL_CHECKS = [
     check_include_order,
     check_build_artifacts,
     check_raw_element_loop,
+    check_raw_ofstream,
 ]
 
 
@@ -363,6 +399,12 @@ SEEDED = {
         "  for (lidx_t e = e0; e < e1; ++e) {}\n"
         "  for (lidx_t q = 0; q < npe; ++q) {}\n"
         "}\n"),
+    "src/fluid/raw_write.cpp": (
+        "raw-ofstream",
+        '#include <fstream>\nvoid w() { std::ofstream out("x.ckpt"); }\n'),
+    "src/io/atomic_file.cpp": (
+        None,  # the one sanctioned std::ofstream site
+        '#include <fstream>\nvoid a() { std::ofstream out("x.tmp"); }\n'),
 }
 
 

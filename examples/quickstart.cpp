@@ -17,6 +17,7 @@
 #include "device/backend.hpp"
 #include "operators/setup.hpp"
 #include "precon/coarse.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace felis;
 
@@ -49,7 +50,8 @@ int main(int argc, char** argv) {
   //    the `device.backend` case key (or FELIS_BACKEND env, or auto-detect).
   comm::SelfComm comm;
   device::Backend& backend = device::select_backend(params);
-  auto fine = operators::make_rank_setup(mesh, 5, comm, /*dealias=*/true,
+  const int degree = 5;
+  auto fine = operators::make_rank_setup(mesh, degree, comm, /*dealias=*/true,
                                          /*three_halves_rule=*/true, &backend);
   auto coarse = precon::make_coarse_setup(mesh, comm, &backend);
 
@@ -61,6 +63,23 @@ int main(int argc, char** argv) {
   config.perturbation_lx = box.lx;
   config.perturbation_ly = box.ly;
   config.flow.velocity_walls = {mesh::FaceTag::kBottom, mesh::FaceTag::kTop};
+
+  // Optional unified telemetry (telemetry.enabled = true in the case file):
+  // per-step NDJSON metrics, a Perfetto-loadable Chrome trace and run-health
+  // heartbeats. The metadata keys make telemetry files joinable against
+  // BENCH_*.json outputs (same backend/threads/degree identity).
+  telemetry::Telemetry telemetry(
+      telemetry::config_from_params(params),
+      {{"program", "quickstart"},
+       {"backend", backend.name()},
+       {"threads", std::to_string(backend.concurrency())},
+       {"degree", std::to_string(degree)},
+       {"Ra", std::to_string(config.rayleigh)},
+       {"Pr", std::to_string(config.prandtl)},
+       {"dt", std::to_string(config.dt)}});
+  fine.telemetry = &telemetry;
+  coarse.telemetry = &telemetry;
+
   rbc::RbcSimulation sim(fine.ctx(), coarse.ctx(), config);
   sim.set_initial_conditions();
 
@@ -86,5 +105,16 @@ int main(int argc, char** argv) {
               d.kinetic_energy);
   std::printf("(Nu > 1 indicates convective heat transport; at Ra < 1708 the "
               "flow decays back to conduction, Nu = 1.)\n");
+
+  if (telemetry.enabled()) {
+    telemetry.finalize();
+    std::printf("telemetry: %lld step records -> %s\n",
+                static_cast<long long>(telemetry.records_written()),
+                telemetry.ndjson_path().c_str());
+    std::printf("telemetry: summary -> %s\n", telemetry.summary_path().c_str());
+    if (telemetry.config().trace)
+      std::printf("telemetry: trace -> %s (load in Perfetto / chrome://tracing)\n",
+                  telemetry.trace_path().c_str());
+  }
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <random>
 
+#include "telemetry/telemetry.hpp"
+
 namespace felis::rbc {
 
 RbcConfig config_from_params(const ParamMap& params) {
@@ -79,6 +81,27 @@ void RbcSimulation::set_initial_conditions() {
   for (auto* c : {&solver_->u(), &solver_->v(), &solver_->w()})
     std::fill(c->begin(), c->end(), 0.0);
   solver_->apply_boundary_conditions();
+}
+
+fluid::StepInfo RbcSimulation::step() {
+  telemetry::Telemetry* tel = fine_.telemetry;
+  if (tel == nullptr || !tel->enabled()) return solver_->step();
+
+  tel->begin_step(solver_->step_count() + 1);
+  const fluid::StepInfo info = solver_->step();
+  // Physical diagnostics are charged only on sampled steps: they cost extra
+  // reductions but never touch solver state, so the fields stay bitwise
+  // identical with telemetry on or off.
+  if (tel->sampling_due(info.step)) {
+    const RbcDiagnostics d = diagnostics();
+    telemetry::MetricsRegistry& m = tel->metrics();
+    m.set("case.nu_plate", 0.5 * (d.nusselt_bottom + d.nusselt_top));
+    m.set("case.nu_volume", d.nusselt_volume);
+    m.set("case.kinetic_energy", d.kinetic_energy);
+    m.set("case.temperature_mean", d.temperature_mean);
+  }
+  tel->end_step(info.step, info.time);
+  return info;
 }
 
 fluid::Checkpoint RbcSimulation::capture_checkpoint() const {

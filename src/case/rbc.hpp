@@ -66,7 +66,11 @@ class RbcSimulation {
   /// Conduction profile + random perturbation; applies the BCs.
   void set_initial_conditions();
 
-  fluid::StepInfo step() { return solver_->step(); }
+  /// Advance one step. When a telemetry context is attached (fine.telemetry)
+  /// this brackets the step (begin_step/end_step), charges the physical
+  /// `case.*` diagnostics on sampled steps and drives the NDJSON stream and
+  /// run-health watchdog; without telemetry it is exactly solver().step().
+  fluid::StepInfo step();
   fluid::FlowSolver& solver() { return *solver_; }
   const fluid::FlowSolver& solver() const { return *solver_; }
 

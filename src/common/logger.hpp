@@ -52,6 +52,8 @@ std::string format(Args&&... args) {
 }
 }  // namespace logging
 
+#define FELIS_LOG_ERROR(...) \
+  ::felis::Logger::instance().log(::felis::LogLevel::kError, ::felis::logging::format(__VA_ARGS__))
 #define FELIS_LOG_INFO(...) \
   ::felis::Logger::instance().log(::felis::LogLevel::kInfo, ::felis::logging::format(__VA_ARGS__))
 #define FELIS_LOG_WARN(...) \

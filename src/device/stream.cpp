@@ -69,6 +69,12 @@ void TraceRecorder::start() {
   events_.clear();
 }
 
+void TraceRecorder::start_at(std::chrono::steady_clock::time_point epoch) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  t0_ = epoch;
+  events_.clear();
+}
+
 double TraceRecorder::now() const {
   std::unique_lock<std::mutex> lock(mutex_);
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)

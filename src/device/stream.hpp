@@ -65,6 +65,10 @@ struct TraceEvent {
 class TraceRecorder {
  public:
   void start();
+  /// Rebase the trace clock onto an externally owned epoch so intervals
+  /// recorded here land on the same timeline as other recorders sharing that
+  /// epoch (the telemetry layer aligns the Profiler timeline this way).
+  void start_at(std::chrono::steady_clock::time_point epoch);
   /// Record an interval on a stream; thread-safe.
   void record(int stream, const std::string& name, double t_begin, double t_end);
   /// Convenience: run fn() and record its wall time.

@@ -3,9 +3,26 @@
 
 namespace felis::device {
 
+std::atomic<usize> Workspace::process_bytes_{0};
+std::atomic<usize> Workspace::process_high_water_{0};
+
 Workspace& Workspace::mine() {
   static thread_local Workspace workspace;
   return workspace;
+}
+
+Workspace::~Workspace() {
+  process_bytes_.fetch_sub(bytes_, std::memory_order_relaxed);
+}
+
+void Workspace::charge_growth(usize grown_bytes) {
+  const usize total =
+      process_bytes_.fetch_add(grown_bytes, std::memory_order_relaxed) +
+      grown_bytes;
+  usize high = process_high_water_.load(std::memory_order_relaxed);
+  while (total > high && !process_high_water_.compare_exchange_weak(
+                             high, total, std::memory_order_relaxed)) {
+  }
 }
 
 WorkspaceFrame::~WorkspaceFrame() {
@@ -20,7 +37,13 @@ RealVec& WorkspaceFrame::vec(usize n) {
     workspace_.buffers_.push_back(std::make_unique<RealVec>());
   }
   RealVec& buffer = *workspace_.buffers_[workspace_.cursor_++];
+  const usize old_capacity = buffer.capacity();
   buffer.resize(n);  // shrink keeps capacity; grow reuses it across calls
+  if (buffer.capacity() > old_capacity) {
+    const usize grown = (buffer.capacity() - old_capacity) * sizeof(real_t);
+    workspace_.bytes_ += grown;
+    Workspace::charge_growth(grown);
+  }
   return buffer;
 }
 

@@ -24,6 +24,7 @@
 /// indices but always occupy disjoint OS threads.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -44,11 +45,30 @@ class Workspace {
   /// Buffers currently claimed by live frames (monitoring/tests).
   usize depth() const { return cursor_; }
 
+  /// Bytes of buffer capacity currently held across *all* threads' arenas,
+  /// and the process-lifetime high-water mark. Grows monotonically (arenas
+  /// cache buffers until thread exit); the telemetry layer samples these into
+  /// the `device.arena_*` gauges each step.
+  static usize process_bytes() {
+    return process_bytes_.load(std::memory_order_relaxed);
+  }
+  static usize process_high_water() {
+    return process_high_water_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class WorkspaceFrame;
   Workspace() = default;
+  ~Workspace();
+
+  static void charge_growth(usize grown_bytes);
+
+  static std::atomic<usize> process_bytes_;
+  static std::atomic<usize> process_high_water_;
+
   std::vector<std::unique_ptr<RealVec>> buffers_;  ///< unique_ptr: stable addresses
   usize cursor_ = 0;
+  usize bytes_ = 0;  ///< capacity bytes this arena has charged to the process
 };
 
 /// RAII view onto the calling thread's Workspace. Buffers obtained through

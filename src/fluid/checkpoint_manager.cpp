@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "io/atomic_file.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace felis::fluid {
 
@@ -75,6 +76,8 @@ std::string CheckpointManager::write(const Checkpoint& ck) {
   fs::create_directories(config_.directory);
   const std::string path = path_for_step(ck.step);
   const std::vector<std::byte> blob = ck.serialize(config_.compress);
+  const telemetry::Stopwatch watch;
+  int retries = 0;
   for (int attempt = 0;; ++attempt) {
     try {
       io::atomic_write_file(path, blob, fault_);
@@ -83,8 +86,19 @@ std::string CheckpointManager::write(const Checkpoint& ck) {
       throw;  // a simulated process death: no retry, like the real thing
     } catch (const Error&) {
       if (attempt >= config_.max_retries) throw;
+      ++retries;
       std::this_thread::sleep_for(std::chrono::milliseconds(
           static_cast<std::int64_t>(config_.retry_backoff_ms) << attempt));
+    }
+  }
+  if (telemetry::Telemetry* tel = telemetry::Telemetry::current()) {
+    telemetry::MetricsRegistry& m = tel->metrics();
+    m.add("checkpoint.writes", 1);
+    m.add("checkpoint.bytes", static_cast<double>(blob.size()));
+    m.observe("checkpoint.write_seconds", watch.seconds());
+    if (retries > 0) {
+      m.add("checkpoint.retries", retries);
+      tel->health().flag_checkpoint_retries(retries, path);
     }
   }
   // Prune the rotation; never the file just written.

@@ -2,8 +2,10 @@
 
 #include <cmath>
 
+#include "device/workspace.hpp"
 #include "field/bc.hpp"
 #include "fluid/time_scheme.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace felis::fluid {
 
@@ -61,6 +63,20 @@ FlowSolver::FlowSolver(const operators::Context& fine,
         fine_, config_.projection_vectors, /*singular_operator=*/true);
   FELIS_CHECK_MSG(fine_.prof != nullptr,
                   "FlowSolver requires an instrumented context (prof != null)");
+
+  // Telemetry attachment: put the preconditioner's stream intervals and the
+  // profiler's region timeline on the telemetry clock so the Chrome-trace
+  // export shows both on one timeline.
+  if (fine_.telemetry != nullptr && fine_.telemetry->enabled()) {
+    fine_.telemetry->attach_profiler(fine_.prof);
+    if (fine_.telemetry->config().trace)
+      hsmg_->set_trace(&fine_.telemetry->trace_recorder());
+  }
+}
+
+FlowSolver::~FlowSolver() {
+  if (fine_.telemetry != nullptr)
+    fine_.telemetry->detach_profiler(fine_.prof);
 }
 
 void FlowSolver::apply_boundary_conditions() {
@@ -356,6 +372,29 @@ StepInfo FlowSolver::step() {
   time_ += dt;
   info.time = time_;
   last_info_ = info;
+
+  // Telemetry charging is read-only with respect to solver state, so the
+  // simulated fields are bitwise identical with telemetry on or off.
+  if (telemetry::Telemetry* tel = fine_.telemetry;
+      tel != nullptr && tel->enabled()) {
+    telemetry::MetricsRegistry& m = tel->metrics();
+    m.set("solver.cfl", info.cfl);
+    m.set("solver.dt", dt);
+    m.set("solver.time", time_);
+    m.set("solver.pressure_iterations", info.pressure_iterations);
+    m.set("solver.velocity_iterations", info.velocity_iterations);
+    m.set("solver.scalar_iterations", info.scalar_iterations);
+    m.set("solver.pressure_residual", info.pressure_residual);
+    m.set("solver.divergence", info.divergence);
+    m.set("solver.projection_basis",
+          pressure_projection_
+              ? static_cast<double>(pressure_projection_->basis_size())
+              : 0.0);
+    m.set("device.arena_bytes",
+          static_cast<double>(device::Workspace::process_bytes()));
+    m.set("device.arena_high_water",
+          static_cast<double>(device::Workspace::process_high_water()));
+  }
   return info;
 }
 

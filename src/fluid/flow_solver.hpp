@@ -87,6 +87,11 @@ class FlowSolver {
   FlowSolver(const operators::Context& fine, const operators::Context& coarse,
              FlowConfig config);
 
+  /// Hands the profiler timeline back to an attached telemetry context: the
+  /// profiler lives in the rank setup and may die with this solver, before
+  /// Telemetry::finalize() runs.
+  ~FlowSolver();
+
   // Field access (local L-vectors).
   RealVec& u() { return u_[0]; }
   RealVec& v() { return u_[1]; }

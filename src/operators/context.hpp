@@ -10,6 +10,10 @@
 #include "gs/gather_scatter.hpp"
 #include "mesh/partition.hpp"
 
+namespace felis::telemetry {
+class Telemetry;
+}
+
 namespace felis::operators {
 
 /// Non-owning view of one rank's discretization. All operator routines take
@@ -25,6 +29,10 @@ struct Context {
   /// null falls back to the process default (FELIS_BACKEND / auto), so a
   /// zero-initialized Context keeps working.
   device::Backend* backend = nullptr;
+  /// Optional run-wide telemetry context (metrics + trace + health). Null in
+  /// plain operator tests; layers without a Context fall back to
+  /// telemetry::Telemetry::current().
+  telemetry::Telemetry* telemetry = nullptr;
 
   device::Backend& dev() const {
     return backend != nullptr ? *backend : device::default_backend();

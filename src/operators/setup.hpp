@@ -20,6 +20,7 @@ struct RankSetup {
   std::unique_ptr<Profiler> prof;
   comm::Communicator* comm = nullptr;
   device::Backend* backend = nullptr;  ///< null = process default
+  telemetry::Telemetry* telemetry = nullptr;  ///< null = telemetry off
 
   Context ctx() const {
     Context c;
@@ -30,6 +31,7 @@ struct RankSetup {
     c.comm = comm;
     c.prof = prof.get();
     c.backend = backend;
+    c.telemetry = telemetry;
     return c;
   }
 };

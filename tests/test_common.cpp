@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/params.hpp"
@@ -153,6 +154,80 @@ TEST(Profiler, ReportContainsRegionNames) {
 TEST(Profiler, PopWithoutPushThrows) {
   Profiler prof;
   EXPECT_THROW(prof.pop(), Error);
+}
+
+TEST(Profiler, ConcurrentCounterChargingLosesNothing) {
+  // The add_* calls are the documented thread-safe subset: kernels dispatched
+  // onto a backend charge the current region concurrently. Totals must be
+  // exact.
+  Profiler prof;
+  constexpr int kThreads = 4;
+  constexpr int kReps = 10000;
+  {
+    auto r = prof.scope("kernel");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&prof] {
+        for (int i = 0; i < kReps; ++i) {
+          prof.add_flops(2);
+          prof.add_bytes(16);
+          prof.add_message(8);
+          prof.add_reduction();
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const RegionNode* kernel = prof.find("kernel");
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_DOUBLE_EQ(kernel->counters.flops, 2.0 * kThreads * kReps);
+  EXPECT_DOUBLE_EQ(kernel->counters.bytes, 16.0 * kThreads * kReps);
+  EXPECT_DOUBLE_EQ(kernel->counters.messages, 1.0 * kThreads * kReps);
+  EXPECT_DOUBLE_EQ(kernel->counters.msg_bytes, 8.0 * kThreads * kReps);
+  EXPECT_DOUBLE_EQ(kernel->counters.reductions, 1.0 * kThreads * kReps);
+}
+
+TEST(Profiler, TimelineRecordsIntervalsOnTheSharedEpoch) {
+  Profiler prof;
+  prof.enable_timeline(std::chrono::steady_clock::now(), /*max_events=*/16);
+  {
+    auto s = prof.scope("step");
+    auto p = prof.scope("pressure");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Children pop first, so the inner interval is recorded before the outer.
+  ASSERT_EQ(prof.timeline().size(), 2u);
+  const ProfileTimelineEvent& inner = prof.timeline()[0];
+  const ProfileTimelineEvent& outer = prof.timeline()[1];
+  EXPECT_EQ(inner.path, "step/pressure");
+  EXPECT_EQ(inner.depth, 2);
+  EXPECT_EQ(outer.path, "step");
+  EXPECT_EQ(outer.depth, 1);
+  EXPECT_GE(inner.t_begin, 0.0);
+  EXPECT_GE(inner.t_end, inner.t_begin);
+  // The outer interval contains the inner one on the shared clock.
+  EXPECT_LE(outer.t_begin, inner.t_begin);
+  EXPECT_GE(outer.t_end, inner.t_end);
+  // The aggregate tree still accumulated alongside the timeline.
+  EXPECT_EQ(prof.find("step/pressure")->calls, 1);
+
+  prof.disable_timeline();
+  { auto s = prof.scope("after"); }
+  EXPECT_EQ(prof.timeline().size(), 2u);  // no further recording
+}
+
+TEST(Profiler, TimelineCapCountsDroppedEvents) {
+  Profiler prof;
+  prof.enable_timeline(std::chrono::steady_clock::now(), /*max_events=*/3);
+  for (int i = 0; i < 10; ++i) {
+    auto r = prof.scope("region");
+  }
+  EXPECT_EQ(prof.timeline().size(), 3u);
+  EXPECT_EQ(prof.timeline_dropped(), 7u);
+  // Re-enabling resets both the buffer and the drop counter.
+  prof.enable_timeline(std::chrono::steady_clock::now(), 3);
+  EXPECT_EQ(prof.timeline().size(), 0u);
+  EXPECT_EQ(prof.timeline_dropped(), 0u);
 }
 
 TEST(ParamMap, ParseAndTypedAccess) {

@@ -31,6 +31,13 @@ Rules
                       through io::atomic_write_file / io::AtomicFileWriter
                       (tmp + fsync + rename), which is the single exempt
                       implementation site (src/io/atomic_file.*).
+  raw-clock           Library code (src/) must not read the clock directly
+                      (steady_clock::now() and friends). Ad-hoc timing drifts
+                      off the shared telemetry epoch and never reaches the
+                      merged trace; time regions with Profiler and ad-hoc
+                      durations with telemetry::Stopwatch. Exempt: the clock
+                      owners themselves (common/profiler, device/stream,
+                      device/autotune and src/telemetry/).
 
 Usage
 -----
@@ -63,6 +70,17 @@ OFSTREAM_EXEMPT = {
     os.path.join("src", "io", "atomic_file.hpp"),
     os.path.join("src", "io", "atomic_file.cpp"),
 }
+# Sanctioned clock owners: the profiler (region timing), the stream trace
+# recorder and autotuner (device-side timing), and the telemetry layer that
+# provides the shared epoch everyone else must inherit.
+CLOCK_EXEMPT = {
+    os.path.join("src", "common", "profiler.hpp"),
+    os.path.join("src", "common", "profiler.cpp"),
+    os.path.join("src", "device", "stream.hpp"),
+    os.path.join("src", "device", "stream.cpp"),
+    os.path.join("src", "device", "autotune.hpp"),
+}
+CLOCK_EXEMPT_DIRS = (os.path.join("src", "telemetry"),)
 
 RAW_ABORT_RE = re.compile(r"(?<![\w.])(assert|abort|exit)\s*\(")
 STDOUT_RE = re.compile(r"std::cout|std::cerr|(?<![\w.])(printf|fprintf|puts)\s*\(")
@@ -76,6 +94,10 @@ RAW_ELEMENT_LOOP_RE = re.compile(
     r"[\w.\->]*(?:nelem\b|num_elements\s*\(\s*\))")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^>"]+)[>"]')
 RAW_OFSTREAM_RE = re.compile(r"std::ofstream\b")
+# Direct clock reads: std::chrono::steady_clock::now() and the other chrono
+# clocks, plus the common `using Clock = ...; Clock::now()` alias idiom.
+RAW_CLOCK_RE = re.compile(
+    r"(?:steady_clock|system_clock|high_resolution_clock|\bClock)\s*::\s*now\s*\(")
 
 TRACKED_ARTIFACT_RES = [
     re.compile(r"(^|/)build[^/]*/"),
@@ -330,6 +352,25 @@ def check_raw_ofstream(root):
     return out
 
 
+def check_raw_clock(root):
+    out = []
+    exempt = {p.replace(os.sep, "/") for p in CLOCK_EXEMPT}
+    exempt_dirs = tuple(d.replace(os.sep, "/") + "/" for d in CLOCK_EXEMPT_DIRS)
+    for path in iter_files(root, (LIBRARY_DIR,), {".hpp", ".cpp"}):
+        relpath = rel(root, path)
+        if relpath in exempt or relpath.startswith(exempt_dirs):
+            continue
+        code = strip_comments_and_strings(open(path, encoding="utf-8").read())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if RAW_CLOCK_RE.search(line):
+                out.append(Violation(
+                    relpath, lineno, "raw-clock",
+                    "direct clock read in library code; time regions with "
+                    "Profiler (shares the telemetry trace epoch) or ad-hoc "
+                    "durations with telemetry::Stopwatch"))
+    return out
+
+
 ALL_CHECKS = [
     check_raw_abort,
     check_stray_stdout,
@@ -338,6 +379,7 @@ ALL_CHECKS = [
     check_build_artifacts,
     check_raw_element_loop,
     check_raw_ofstream,
+    check_raw_clock,
 ]
 
 
@@ -405,6 +447,16 @@ SEEDED = {
     "src/io/atomic_file.cpp": (
         None,  # the one sanctioned std::ofstream site
         '#include <fstream>\nvoid a() { std::ofstream out("x.tmp"); }\n'),
+    "src/bad/raw_clock.cpp": (
+        "raw-clock",
+        "#include <chrono>\nvoid t() {\n"
+        "  auto t0 = std::chrono::steady_clock::now();\n"
+        "  (void)t0;\n}\n"),
+    "src/telemetry/clock_owner.cpp": (
+        None,  # the telemetry layer owns the shared epoch
+        "#include <chrono>\nvoid e() {\n"
+        "  auto t0 = std::chrono::steady_clock::now();\n"
+        "  (void)t0;\n}\n"),
 }
 
 

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""felis-trace: validate and summarize felis telemetry artifacts.
+
+A felis run with `telemetry.enabled = true` produces
+  <dir>/<basename>.ndjson       one JSON record per line: a `header` record
+                                (schema + run metadata) followed by `step`
+                                records with the full metric snapshot;
+  <dir>/<basename>.trace.json   a Chrome trace_event file merging the
+                                Profiler region timeline and the stream
+                                TraceRecorder intervals on one clock, with
+                                step boundaries as instant events;
+  <dir>/<basename>.summary.csv  final metric summary (kind/value/count/...).
+
+The NDJSON stream uses crash-safe appends: every fsync'd prefix is a valid
+record stream, and a crash can leave at most one torn final line — which this
+tool tolerates (with a note) rather than rejects.
+
+Usage
+-----
+  felis_trace.py --check <run.ndjson> [<run.trace.json>]
+      Validate the artifacts (exit 1 on any structural problem).
+  felis_trace.py --summary <run.ndjson>
+      Print a human-readable run summary from the metrics stream.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields every step record's metric snapshot must contain (the acceptance
+# contract of the telemetry layer: iteration counts, residuals, Nu, CFL and
+# checkpoint statistics are always present, even when zero).
+REQUIRED_METRICS = (
+    "solver.cfl",
+    "solver.pressure_iterations",
+    "solver.velocity_iterations",
+    "solver.pressure_residual",
+    "case.nu_volume",
+    "checkpoint.writes",
+    "checkpoint.retries",
+)
+
+REQUIRED_METADATA = ("backend", "threads", "degree")
+
+
+class CheckError(Exception):
+    pass
+
+
+def read_ndjson(path):
+    """Parse the metrics stream; returns (header, steps, torn_tail)."""
+    with open(path, "r", encoding="utf-8") as f:
+        raw = f.read()
+    lines = raw.split("\n")
+    # A trailing newline leaves one empty final element; drop it.
+    if lines and lines[-1] == "":
+        lines.pop()
+    header = None
+    steps = []
+    torn_tail = False
+    for i, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                # Torn final line: the documented crash-safety semantic.
+                torn_tail = True
+                continue
+            raise CheckError(f"{path}:{i + 1}: malformed JSON mid-stream")
+        if not isinstance(record, dict) or "type" not in record:
+            raise CheckError(f"{path}:{i + 1}: record has no 'type' field")
+        if record["type"] == "header":
+            if i != 0:
+                raise CheckError(f"{path}:{i + 1}: header record not first")
+            header = record
+        elif record["type"] == "step":
+            steps.append((i + 1, record))
+        else:
+            raise CheckError(
+                f"{path}:{i + 1}: unknown record type {record['type']!r}")
+    return header, steps, torn_tail
+
+
+def check_ndjson(path):
+    header, steps, torn_tail = read_ndjson(path)
+    if header is None:
+        raise CheckError(f"{path}: missing header record")
+    metadata = header.get("metadata")
+    if not isinstance(metadata, dict):
+        raise CheckError(f"{path}: header has no metadata object")
+    for key in REQUIRED_METADATA:
+        if key not in metadata:
+            raise CheckError(
+                f"{path}: header metadata missing {key!r} "
+                "(needed to join against BENCH_*.json)")
+    if not steps:
+        raise CheckError(f"{path}: no step records")
+    prev_step = None
+    for lineno, record in steps:
+        for field in ("step", "time", "wall_seconds", "metrics"):
+            if field not in record:
+                raise CheckError(f"{path}:{lineno}: step record missing {field!r}")
+        metrics = record["metrics"]
+        if not isinstance(metrics, dict):
+            raise CheckError(f"{path}:{lineno}: metrics is not an object")
+        for name in REQUIRED_METRICS:
+            if name not in metrics:
+                raise CheckError(
+                    f"{path}:{lineno}: metrics missing {name!r}")
+        if prev_step is not None and record["step"] <= prev_step:
+            raise CheckError(
+                f"{path}:{lineno}: step {record['step']} not monotonically "
+                f"increasing (previous {prev_step})")
+        prev_step = record["step"]
+    return header, steps, torn_tail
+
+
+def check_trace(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            trace = json.load(f)
+        except json.JSONDecodeError as e:
+            raise CheckError(f"{path}: not valid JSON: {e}")
+    if "traceEvents" not in trace:
+        raise CheckError(f"{path}: missing traceEvents array")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise CheckError(f"{path}: traceEvents is not an array")
+    cats = set()
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            raise CheckError(f"{path}: traceEvents[{i}] is not an object")
+        ph = e.get("ph")
+        if ph not in ("X", "i", "M"):
+            raise CheckError(f"{path}: traceEvents[{i}] has unexpected ph {ph!r}")
+        if ph == "X":
+            for field in ("name", "cat", "ts", "dur", "pid", "tid"):
+                if field not in e:
+                    raise CheckError(
+                        f"{path}: traceEvents[{i}] (ph=X) missing {field!r}")
+            if e["ts"] < 0 or e["dur"] < 0:
+                raise CheckError(
+                    f"{path}: traceEvents[{i}] has negative ts/dur")
+        if ph == "i" and "ts" not in e:
+            raise CheckError(f"{path}: traceEvents[{i}] (ph=i) missing ts")
+        if "cat" in e:
+            cats.add(e["cat"])
+    # The tentpole contract: profiler regions AND stream intervals on one
+    # timeline, with step boundaries marked.
+    for cat in ("profiler", "stream", "step"):
+        if cat not in cats:
+            raise CheckError(
+                f"{path}: no events with cat={cat!r} — the merged timeline "
+                "must contain profiler regions, stream intervals and step marks")
+    if "otherData" not in trace:
+        raise CheckError(f"{path}: missing otherData metadata object")
+    for key in REQUIRED_METADATA:
+        if key not in trace["otherData"]:
+            raise CheckError(f"{path}: otherData missing {key!r}")
+    return events, cats
+
+
+def cmd_check(paths):
+    ndjson_path = paths[0]
+    header, steps, torn_tail = check_ndjson(ndjson_path)
+    print(f"{ndjson_path}: OK ({len(steps)} step records, "
+          f"schema {header.get('schema')}"
+          + (", torn final line tolerated" if torn_tail else "") + ")")
+    if len(paths) > 1:
+        events, cats = check_trace(paths[1])
+        print(f"{paths[1]}: OK ({len(events)} trace events, "
+              f"categories: {', '.join(sorted(cats))})")
+    return 0
+
+
+def cmd_summary(path):
+    header, steps, torn_tail = read_ndjson(path)
+    if header is not None:
+        meta = header.get("metadata", {})
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        print(f"run: {pairs}")
+    if not steps:
+        print("no step records")
+        return 1
+    first, last = steps[0][1], steps[-1][1]
+    nsteps = len(steps)
+    wall = last.get("wall_seconds", 0) - first.get("wall_seconds", 0)
+    rate = (nsteps - 1) / wall if wall > 0 and nsteps > 1 else 0.0
+    print(f"steps: {first['step']}..{last['step']} "
+          f"({nsteps} records, {rate:.2f} steps/s)")
+    m = last.get("metrics", {})
+
+    def val(name):
+        v = m.get(name)
+        if isinstance(v, dict):
+            return v.get("last", 0)
+        return v if v is not None else 0
+
+    print(f"final: CFL={val('solver.cfl'):.3f} "
+          f"p_it={val('solver.pressure_iterations'):.0f} "
+          f"p_res={val('solver.pressure_residual'):.3e} "
+          f"Nu={val('case.nu_volume'):.4f}")
+    print(f"checkpoints: writes={val('checkpoint.writes'):.0f} "
+          f"retries={val('checkpoint.retries'):.0f}")
+    if torn_tail:
+        print("note: torn final line (crash-interrupted append) skipped")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="validate artifacts, exit 1 on problems")
+    mode.add_argument("--summary", action="store_true",
+                      help="print a run summary from the NDJSON stream")
+    parser.add_argument("paths", nargs="+",
+                        help="run.ndjson [run.trace.json]")
+    args = parser.parse_args()
+    try:
+        if args.check:
+            return cmd_check(args.paths)
+        return cmd_summary(args.paths[0])
+    except (CheckError, OSError) as e:
+        print(f"felis-trace: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

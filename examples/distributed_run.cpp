@@ -1,22 +1,32 @@
 // Distributed execution: the same RBC case on multiple simulated ranks
 // (threads with message passing — felis' stand-in for MPI, see DESIGN.md),
-// demonstrating the two-phase gather-scatter, per-rank profiling and the
-// task-overlapped pressure preconditioner running with real communication.
+// demonstrating the two-phase gather-scatter, per-rank profiling, the
+// task-overlapped pressure preconditioner running with real communication,
+// and per-rank telemetry channels.
 //
-//   ./distributed_run [ranks] [steps]
+//   ./distributed_run [ranks] [steps] [telemetry-dir]
+//
+// With a telemetry-dir, every rank records its own NDJSON stream / Chrome
+// trace under <telemetry-dir>/rank<r>/ — ranks are threads of one process,
+// so each needs its own channel directory or their records would interleave
+// in a single stream.
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <optional>
+#include <string>
 
 #include "case/rbc.hpp"
 #include "operators/setup.hpp"
 #include "precon/coarse.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace felis;
 
 int main(int argc, char** argv) {
   const int nranks = argc > 1 ? std::atoi(argv[1]) : 4;
   const int steps = argc > 2 ? std::atoi(argv[2]) : 60;
+  const std::string telemetry_dir = argc > 3 ? argv[3] : "";
 
   mesh::CylinderMeshConfig cyl;
   cyl.nc = 2;
@@ -32,6 +42,27 @@ int main(int argc, char** argv) {
   comm::run_parallel(nranks, [&](comm::Communicator& comm) {
     auto fine = operators::make_rank_setup(mesh, 4, comm, true);
     auto coarse = precon::make_coarse_setup(mesh, comm);
+
+    // Per-rank telemetry channel: rank r writes <dir>/rank<r>/run.ndjson and
+    // its own trace. The rank/size metadata keys disambiguate the channels
+    // when the artifacts are joined into one campaign- or run-level view.
+    std::optional<telemetry::Telemetry> telemetry;
+    if (!telemetry_dir.empty()) {
+      telemetry::TelemetryConfig tc;
+      tc.enabled = true;
+      tc.dir = telemetry_dir + "/rank" + std::to_string(comm.rank());
+      telemetry.emplace(
+          std::move(tc),
+          std::map<std::string, std::string>{
+              {"program", "distributed_run"},
+              {"backend", "serial"},
+              {"threads", std::to_string(nranks)},
+              {"degree", "4"},
+              {"rank", std::to_string(comm.rank())},
+              {"size", std::to_string(comm.size())}});
+      fine.telemetry = &*telemetry;
+      coarse.telemetry = &*telemetry;
+    }
     {
       std::lock_guard<std::mutex> lock(print_mutex);
       std::printf(
@@ -58,6 +89,7 @@ int main(int argc, char** argv) {
     const rbc::RbcDiagnostics d = sim.diagnostics();
     comm.barrier();
 
+    if (telemetry) telemetry->finalize();
     if (comm.rank() == 0) {
       std::lock_guard<std::mutex> lock(print_mutex);
       std::printf("\nafter %d steps: t=%.3f Nu_vol=%.4f KE=%.4e "
@@ -65,6 +97,9 @@ int main(int argc, char** argv) {
                   steps, last.time, d.nusselt_volume, d.kinetic_energy);
       std::printf("\nrank 0 wall-time distribution (Fig. 4 style):\n%s\n",
                   fine.prof->report().c_str());
+      if (telemetry)
+        std::printf("telemetry: per-rank channels under %s/rank<r>/\n",
+                    telemetry_dir.c_str());
     }
   });
   return 0;

@@ -1,0 +1,130 @@
+// felis_campaign: run a multi-case simulation sweep through the campaign
+// scheduler — sweep expansion, cost-ordered queue, bounded worker pool,
+// crash-safe manifest, automatic retry-from-checkpoint, SIGINT drain.
+//
+//   ./felis_campaign campaign.txt [options]
+//     --dry-run            expand + order the queue, print it, run nothing
+//     --steps N            override every case's step count (smoke runs)
+//     --dir PATH           override campaign.dir
+//     --bench-json PATH    also write a BENCH_campaign.json throughput record
+//
+// The campaign file is an ordinary key = value ParamMap with sweep.* axes:
+//
+//   campaign.name = ra_sweep        sweep.Ra = 2e4:6e5:log4
+//   campaign.workers = 2            case.dt = 1.5e-2
+//   campaign.steps = 40             checkpoint.every = 8
+//
+// Re-running the same command resumes from <campaign.dir>/manifest.ndjson:
+// completed cases are skipped, interrupted ones restart from their newest
+// valid checkpoint. Exit code: 0 all done, 1 failures, 2 drained (SIGINT).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sched/case_runner.hpp"
+#include "sched/scheduler.hpp"
+
+using namespace felis;
+
+int main(int argc, char** argv) {
+  std::string campaign_file;
+  std::string bench_json;
+  std::string dir_override;
+  bool dry_run = false;
+  long steps_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dry-run") == 0) {
+      dry_run = true;
+    } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      steps_override = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir_override = argv[++i];
+    } else if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
+      bench_json = argv[++i];
+    } else if (campaign_file.empty()) {
+      campaign_file = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return 64;
+    }
+  }
+  if (campaign_file.empty()) {
+    std::fprintf(stderr,
+                 "usage: felis_campaign <campaign.txt> [--dry-run] [--steps N] "
+                 "[--dir PATH] [--bench-json PATH]\n");
+    return 64;
+  }
+
+  std::ifstream in(campaign_file);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read campaign file '%s'\n",
+                 campaign_file.c_str());
+    return 66;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  ParamMap params = ParamMap::parse(ss.str());
+  if (!dir_override.empty()) params.set("campaign.dir", dir_override);
+  if (steps_override > 0) params.set("campaign.steps", static_cast<int>(steps_override));
+
+  sched::CampaignSpec spec;
+  try {
+    spec = sched::CampaignSpec::from_params(params);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bad campaign spec: %s\n", e.what());
+    return 65;
+  }
+  if (steps_override > 0)
+    for (sched::CaseSpec& cs : spec.cases) cs.steps = steps_override;
+
+  std::printf("campaign '%s': %zu case(s), %d worker(s), thread budget %d\n",
+              spec.config.name.c_str(), spec.cases.size(), spec.config.workers,
+              spec.config.thread_budget);
+  std::printf("%-40s %8s %8s %12s  %s\n", "case", "threads", "steps",
+              "est. cost", "overrides");
+  for (const sched::CaseSpec& cs : spec.cases) {
+    std::string overrides;
+    for (const auto& [key, value] : cs.overrides) {
+      if (!overrides.empty()) overrides += ", ";
+      overrides += key + "=" + value;
+    }
+    std::printf("%-40s %8d %8lld %10.3fs  %s\n", cs.id.c_str(), cs.threads,
+                static_cast<long long>(cs.steps), cs.cost_seconds,
+                overrides.c_str());
+  }
+  if (dry_run) return 0;
+
+  sched::Scheduler scheduler(std::move(spec),
+                             sched::make_rbc_case_runner());
+  sched::Scheduler::install_sigint_drain(&scheduler);
+  const sched::CampaignReport report = scheduler.run();
+  sched::Scheduler::install_sigint_drain(nullptr);
+
+  std::printf("\n%-40s %8s %8s %10s\n", "case", "state", "attempts", "wall");
+  for (const sched::CaseOutcome& out : report.outcomes)
+    std::printf("%-40s %8s %8d %9.3fs%s\n", out.id.c_str(), out.state.c_str(),
+                out.attempts, out.wall_seconds,
+                out.skipped ? "  (previous session)" : "");
+  std::printf("\n%d done, %d skipped, %d failed, %d drained, %d retries in "
+              "%.3f s (utilisation %.2f, %.1f cases/hour)\n",
+              report.completed, report.skipped, report.failed, report.drained,
+              report.retries, report.wall_seconds, report.utilisation(),
+              report.cases_per_hour());
+  std::printf("manifest: %s\n", scheduler.spec().manifest_path().c_str());
+
+  if (report.completed + report.skipped > 0) {
+    const std::string csv = scheduler.spec().summary_csv_path();
+    sched::write_nu_ra_csv(scheduler.spec(), report, csv);
+    std::printf("Nu(Ra) summary: %s\n", csv.c_str());
+  }
+  if (!bench_json.empty()) {
+    sched::write_bench_json(scheduler.spec(), report, bench_json);
+    std::printf("bench record: %s\n", bench_json.c_str());
+  }
+
+  if (report.failed > 0) return 1;
+  if (report.drained > 0) return 2;
+  return 0;
+}

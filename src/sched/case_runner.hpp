@@ -1,0 +1,55 @@
+/// \file case_runner.hpp
+/// \brief The default campaign runner: one RBC simulation per case, with
+/// crash-safe checkpointing, restore-on-retry and per-run telemetry.
+///
+/// A case runs `case.steps` time steps of the Rayleigh–Bénard case built
+/// from its (sweep-expanded) parameters on `threads` simulated ranks
+/// (comm::run_parallel). Everything a run writes lives under its
+/// RunContext::run_dir():
+///
+///   <campaign.dir>/<case id>/checkpoints/   rotation (per rank: felis.r<k>)
+///   <campaign.dir>/<case id>/telemetry/     NDJSON/CSV/trace per rank
+///
+/// Fault tolerance contract: every attempt first restores the newest valid
+/// checkpoint (multi-rank: the newest step *common* to all ranks, agreed by
+/// allreduce-min, so ranks never resume from different steps), then steps to
+/// the target. Because restarts are bitwise-exact (PR 3), a case that crashes
+/// and retries finishes in exactly the state of an uninterrupted run.
+///
+/// Fault injection (fault.* case keys or FELIS_FAULT_INJECT) is honoured for
+/// single-rank cases only — one injector per case persists across attempts,
+/// so `at=N` faults fire once per campaign, not once per attempt. Multi-rank
+/// cases skip injection: a rank killed mid-exchange would deadlock its peers,
+/// which is a property of threads-as-ranks, not of the scheduler under test.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace felis::sched {
+
+struct RbcRunnerOptions {
+  /// Honour fault.* keys / FELIS_FAULT_INJECT on single-rank cases.
+  bool fault_injection = true;
+  /// Attach per-rank telemetry when the case enables telemetry.enabled.
+  bool telemetry = true;
+};
+
+/// Build the default runner. The returned callable is thread-safe (the
+/// scheduler invokes it concurrently for different cases) and stateful: it
+/// owns the per-case fault injectors that persist across retry attempts.
+CaseRunner make_rbc_case_runner(RbcRunnerOptions options = {});
+
+/// Write the campaign-level Nu-vs-Ra summary CSV (the aggregate the
+/// bench_nu_ra_scaling study tabulates): one row per completed case, sorted
+/// by Ra, with both Nusselt measurements, kinetic energy, attempts and wall
+/// time. Atomically replaced (io::AtomicFileWriter).
+void write_nu_ra_csv(const CampaignSpec& spec, const CampaignReport& report,
+                     const std::string& path);
+
+/// Write BENCH_campaign.json: campaign throughput (cases/hour), worker-pool
+/// utilisation, thread budget and retry counts, joinable against the other
+/// BENCH_*.json outputs.
+void write_bench_json(const CampaignSpec& spec, const CampaignReport& report,
+                      const std::string& path);
+
+}  // namespace felis::sched

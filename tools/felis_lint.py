@@ -38,6 +38,13 @@ Rules
                       durations with telemetry::Stopwatch. Exempt: the clock
                       owners themselves (common/profiler, device/stream,
                       device/autotune and src/telemetry/).
+  raw-thread          Library code (src/) must not spawn std::thread /
+                      std::jthread directly: untracked threads bypass the
+                      campaign scheduler's GCD-style thread budget and the
+                      device backend's worker accounting, so concurrent cases
+                      oversubscribe the host invisibly. Exempt: the sanctioned
+                      concurrency owners (src/device/, src/comm/, src/insitu/,
+                      src/sched/).
 
 Usage
 -----
@@ -81,6 +88,15 @@ CLOCK_EXEMPT = {
     os.path.join("src", "device", "autotune.hpp"),
 }
 CLOCK_EXEMPT_DIRS = (os.path.join("src", "telemetry"),)
+# Sanctioned thread owners: the device backends (worker pools), the
+# threads-as-ranks communicator, the in-situ consumer, and the campaign
+# scheduler (whose whole job is budgeted thread accounting).
+THREAD_EXEMPT_DIRS = (
+    os.path.join("src", "device"),
+    os.path.join("src", "comm"),
+    os.path.join("src", "insitu"),
+    os.path.join("src", "sched"),
+)
 
 RAW_ABORT_RE = re.compile(r"(?<![\w.])(assert|abort|exit)\s*\(")
 STDOUT_RE = re.compile(r"std::cout|std::cerr|(?<![\w.])(printf|fprintf|puts)\s*\(")
@@ -98,6 +114,7 @@ RAW_OFSTREAM_RE = re.compile(r"std::ofstream\b")
 # clocks, plus the common `using Clock = ...; Clock::now()` alias idiom.
 RAW_CLOCK_RE = re.compile(
     r"(?:steady_clock|system_clock|high_resolution_clock|\bClock)\s*::\s*now\s*\(")
+RAW_THREAD_RE = re.compile(r"std::j?thread\b")
 
 TRACKED_ARTIFACT_RES = [
     re.compile(r"(^|/)build[^/]*/"),
@@ -371,6 +388,24 @@ def check_raw_clock(root):
     return out
 
 
+def check_raw_thread(root):
+    out = []
+    exempt_dirs = tuple(d.replace(os.sep, "/") + "/" for d in THREAD_EXEMPT_DIRS)
+    for path in iter_files(root, (LIBRARY_DIR,), {".hpp", ".cpp"}):
+        relpath = rel(root, path)
+        if relpath.startswith(exempt_dirs):
+            continue
+        code = strip_comments_and_strings(open(path, encoding="utf-8").read())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if RAW_THREAD_RE.search(line):
+                out.append(Violation(
+                    relpath, lineno, "raw-thread",
+                    "raw std::thread in library code bypasses the thread "
+                    "budget; use device::Backend workers, comm::run_parallel "
+                    "ranks, or the sched:: worker pool"))
+    return out
+
+
 ALL_CHECKS = [
     check_raw_abort,
     check_stray_stdout,
@@ -380,6 +415,7 @@ ALL_CHECKS = [
     check_raw_element_loop,
     check_raw_ofstream,
     check_raw_clock,
+    check_raw_thread,
 ]
 
 
@@ -457,6 +493,14 @@ SEEDED = {
         "#include <chrono>\nvoid e() {\n"
         "  auto t0 = std::chrono::steady_clock::now();\n"
         "  (void)t0;\n}\n"),
+    "src/fluid/raw_thread.cpp": (
+        "raw-thread",
+        "#include <thread>\nvoid r() {\n"
+        "  std::thread t([] {});\n  t.join();\n}\n"),
+    "src/sched/pool_owner.cpp": (
+        None,  # the scheduler owns budgeted worker threads
+        "#include <thread>\nvoid p() {\n"
+        "  std::thread t([] {});\n  t.join();\n}\n"),
 }
 
 

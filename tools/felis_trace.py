@@ -15,12 +15,24 @@ The NDJSON stream uses crash-safe appends: every fsync'd prefix is a valid
 record stream, and a crash can leave at most one torn final line — which this
 tool tolerates (with a note) rather than rejects.
 
+A campaign run (felis_campaign / sched::Scheduler) produces
+  <campaign.dir>/manifest.ndjson   the crash-safe run journal: a `header`
+                                   record, one `case` record per expanded
+                                   sweep case, then `run` state transitions
+                                   (queued -> running -> done/failed/retried)
+                                   and `resume` markers appended by later
+                                   sessions.
+
 Usage
 -----
   felis_trace.py --check <run.ndjson> [<run.trace.json>]
       Validate the artifacts (exit 1 on any structural problem).
   felis_trace.py --summary <run.ndjson>
       Print a human-readable run summary from the metrics stream.
+  felis_trace.py --campaign <manifest.ndjson>
+      Validate a campaign manifest: header-first schema, every run record
+      referencing a declared case, legal state transitions, monotone attempt
+      numbers. Prints the per-case final states (exit 1 on violations).
 """
 
 import argparse
@@ -173,6 +185,131 @@ def cmd_check(paths):
     return 0
 
 
+CAMPAIGN_SCHEMA = "felis-campaign-1"
+RUN_STATES = ("queued", "running", "done", "failed", "retried")
+# Legal per-case transitions within one scheduler session. A resume session
+# additionally re-queues every non-done case (including one left "running"
+# by a kill), which is legal only after a `resume` record has been seen.
+CAMPAIGN_TRANSITIONS = {
+    None: {"queued"},
+    "queued": {"running"},
+    "running": {"done", "failed", "retried"},
+    "retried": {"queued"},
+    "failed": set(),
+    "done": set(),
+}
+
+
+def read_campaign_manifest(path):
+    """Parse the manifest; returns (records, torn_tail) of (lineno, dict)."""
+    with open(path, "r", encoding="utf-8") as f:
+        raw = f.read()
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    records = []
+    torn_tail = False
+    for i, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                torn_tail = True  # crash-interrupted final append
+                continue
+            raise CheckError(f"{path}:{i + 1}: malformed JSON mid-stream")
+        if not isinstance(record, dict) or "type" not in record:
+            raise CheckError(f"{path}:{i + 1}: record has no 'type' field")
+        records.append((i + 1, record))
+    return records, torn_tail
+
+
+def check_campaign(path):
+    records, torn_tail = read_campaign_manifest(path)
+    if not records:
+        raise CheckError(f"{path}: empty manifest")
+    lineno, header = records[0]
+    if header["type"] != "header":
+        raise CheckError(f"{path}:{lineno}: first record is not a header")
+    if header.get("schema") != CAMPAIGN_SCHEMA:
+        raise CheckError(
+            f"{path}:{lineno}: schema {header.get('schema')!r}, "
+            f"expected {CAMPAIGN_SCHEMA!r}")
+    for key in ("campaign", "cases", "workers", "thread_budget"):
+        if key not in header:
+            raise CheckError(f"{path}:{lineno}: header missing {key!r}")
+    cases = {}        # id -> case record
+    last_state = {}   # id -> last run state
+    attempts = {}     # id -> highest attempt seen
+    resumes = 0
+    for lineno, record in records[1:]:
+        rtype = record["type"]
+        if rtype == "header":
+            raise CheckError(f"{path}:{lineno}: duplicate header record")
+        elif rtype == "case":
+            for key in ("case", "threads", "steps", "cost_seconds"):
+                if key not in record:
+                    raise CheckError(
+                        f"{path}:{lineno}: case record missing {key!r}")
+            if record["case"] in cases:
+                raise CheckError(
+                    f"{path}:{lineno}: case {record['case']!r} declared twice")
+            cases[record["case"]] = record
+        elif rtype == "resume":
+            if "pending" not in record:
+                raise CheckError(f"{path}:{lineno}: resume missing 'pending'")
+            resumes += 1
+        elif rtype == "run":
+            for key in ("case", "state", "attempt", "wall_seconds"):
+                if key not in record:
+                    raise CheckError(
+                        f"{path}:{lineno}: run record missing {key!r}")
+            cid, state = record["case"], record["state"]
+            if cid not in cases:
+                raise CheckError(
+                    f"{path}:{lineno}: run record for undeclared case {cid!r}")
+            if state not in RUN_STATES:
+                raise CheckError(f"{path}:{lineno}: unknown state {state!r}")
+            prev = last_state.get(cid)
+            legal = CAMPAIGN_TRANSITIONS[prev]
+            # A later session re-journals every surviving case as queued —
+            # whatever non-done state the kill left behind.
+            if resumes and prev != "done" and state == "queued":
+                legal = legal | {"queued"}
+            if state not in legal:
+                raise CheckError(
+                    f"{path}:{lineno}: illegal transition {prev!r} -> "
+                    f"{state!r} for case {cid!r}")
+            if record["attempt"] < attempts.get(cid, 1):
+                raise CheckError(
+                    f"{path}:{lineno}: attempt {record['attempt']} for case "
+                    f"{cid!r} below previous {attempts[cid]}")
+            attempts[cid] = record["attempt"]
+            last_state[cid] = state
+        else:
+            raise CheckError(f"{path}:{lineno}: unknown record type {rtype!r}")
+    if len(cases) != header["cases"]:
+        raise CheckError(
+            f"{path}: header declares {header['cases']} cases, "
+            f"{len(cases)} case records found")
+    return header, cases, last_state, attempts, resumes, torn_tail
+
+
+def cmd_campaign(path):
+    header, cases, last_state, attempts, resumes, torn = check_campaign(path)
+    counts = {}
+    for cid in cases:
+        counts.setdefault(last_state.get(cid, "declared"), []).append(cid)
+    total_attempts = sum(attempts.values())
+    print(f"{path}: OK (campaign {header['campaign']!r}, {len(cases)} cases, "
+          f"{resumes} resume(s), {total_attempts} attempts"
+          + (", torn final line tolerated" if torn else "") + ")")
+    for state in ("done", "running", "queued", "retried", "failed", "declared"):
+        ids = counts.get(state)
+        if ids:
+            print(f"  {state:8s} {len(ids):3d}  {', '.join(sorted(ids))}")
+    return 0
+
+
 def cmd_summary(path):
     header, steps, torn_tail = read_ndjson(path)
     if header is not None:
@@ -214,12 +351,16 @@ def main():
                       help="validate artifacts, exit 1 on problems")
     mode.add_argument("--summary", action="store_true",
                       help="print a run summary from the NDJSON stream")
+    mode.add_argument("--campaign", action="store_true",
+                      help="validate a campaign manifest.ndjson")
     parser.add_argument("paths", nargs="+",
-                        help="run.ndjson [run.trace.json]")
+                        help="run.ndjson [run.trace.json] | manifest.ndjson")
     args = parser.parse_args()
     try:
         if args.check:
             return cmd_check(args.paths)
+        if args.campaign:
+            return cmd_campaign(args.paths[0])
         return cmd_summary(args.paths[0])
     except (CheckError, OSError) as e:
         print(f"felis-trace: {e}", file=sys.stderr)

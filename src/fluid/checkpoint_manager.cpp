@@ -3,41 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
-#include <iomanip>
-#include <sstream>
 #include <thread>
 
+#include "fluid/checkpoint_policy.hpp"
 #include "io/atomic_file.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace felis::fluid {
 
 namespace fs = std::filesystem;
-
-namespace {
-
-constexpr const char* kExtension = ".ckpt";
-
-/// Parse the step index out of `<basename>.<digits>.ckpt`; nullopt for
-/// anything else (tmp files, foreign files, malformed names).
-std::optional<std::int64_t> step_from_name(const std::string& name,
-                                           const std::string& basename) {
-  const std::string prefix = basename + ".";
-  if (name.size() <= prefix.size() + std::string(kExtension).size()) return {};
-  if (name.compare(0, prefix.size(), prefix) != 0) return {};
-  if (name.compare(name.size() - 5, 5, kExtension) != 0) return {};
-  const std::string digits =
-      name.substr(prefix.size(), name.size() - prefix.size() - 5);
-  if (digits.empty()) return {};
-  std::int64_t step = 0;
-  for (const char c : digits) {
-    if (c < '0' || c > '9') return {};
-    step = step * 10 + (c - '0');
-  }
-  return step;
-}
-
-}  // namespace
 
 CheckpointManager::CheckpointManager(CheckpointConfig config,
                                      io::FaultInjector* fault)
@@ -62,14 +36,13 @@ CheckpointConfig CheckpointManager::config_from_params(const ParamMap& params) {
 }
 
 std::string CheckpointManager::path_for_step(std::int64_t step) const {
-  std::ostringstream os;
-  os << config_.basename << "." << std::setw(10) << std::setfill('0') << step
-     << kExtension;
-  return (fs::path(config_.directory) / os.str()).string();
+  return (fs::path(config_.directory) /
+          checkpoint_file_name(config_.basename, step))
+      .string();
 }
 
 bool CheckpointManager::due(std::int64_t step) const {
-  return config_.every > 0 && step > 0 && step % config_.every == 0;
+  return checkpoint_due(config_.every, step);
 }
 
 std::string CheckpointManager::write(const Checkpoint& ck) {
@@ -101,39 +74,43 @@ std::string CheckpointManager::write(const Checkpoint& ck) {
       tel->health().flag_checkpoint_retries(retries, path);
     }
   }
-  // Prune the rotation; never the file just written.
-  std::vector<std::string> files = list();
-  while (files.size() > static_cast<usize>(config_.keep)) {
+  // Prune the rotation via the shared policy; never the file just written.
+  for (const std::int64_t victim :
+       checkpoint_prune_victims(list_steps(), config_.keep)) {
     std::error_code ec;
-    fs::remove(files.front(), ec);  // best effort: pruning must not kill a run
-    files.erase(files.begin());
+    // Best effort: pruning must not kill a run.
+    fs::remove(path_for_step(victim), ec);
   }
   return path;
 }
 
-std::vector<std::string> CheckpointManager::list() const {
-  std::vector<std::pair<std::int64_t, std::string>> found;
+std::vector<std::int64_t> CheckpointManager::list_steps() const {
+  std::vector<std::int64_t> steps;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(config_.directory, ec)) {
     if (!entry.is_regular_file()) continue;
-    const auto step =
-        step_from_name(entry.path().filename().string(), config_.basename);
-    if (step) found.emplace_back(*step, entry.path().string());
+    const auto step = checkpoint_step_from_name(
+        entry.path().filename().string(), config_.basename);
+    if (step) steps.push_back(*step);
   }
-  std::sort(found.begin(), found.end());
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+std::vector<std::string> CheckpointManager::list() const {
   std::vector<std::string> paths;
-  paths.reserve(found.size());
-  for (auto& [step, path] : found) paths.push_back(std::move(path));
+  for (const std::int64_t step : list_steps())
+    paths.push_back(path_for_step(step));
   return paths;
 }
 
 std::optional<Checkpoint> CheckpointManager::load_latest(
     std::string* path_out) const {
-  std::vector<std::string> files = list();
-  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+  for (const std::int64_t step : checkpoint_recovery_order(list_steps())) {
+    const std::string path = path_for_step(step);
     try {
-      Checkpoint ck = Checkpoint::load(*it);
-      if (path_out) *path_out = *it;
+      Checkpoint ck = Checkpoint::load(path);
+      if (path_out) *path_out = path;
       return ck;
     } catch (const Error&) {
       // Torn, truncated or bit-rotted checkpoint: skip to the next-oldest.

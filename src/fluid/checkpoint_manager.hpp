@@ -53,6 +53,11 @@ class CheckpointManager {
   /// Checkpoint paths in the rotation directory, oldest first.
   std::vector<std::string> list() const;
 
+  /// Step indices present in the rotation directory, oldest first (the
+  /// value-level view rotation and recovery decisions are made from; see
+  /// fluid/checkpoint_policy.hpp).
+  std::vector<std::int64_t> list_steps() const;
+
   /// True when `step` is a scheduled checkpoint step (config.every).
   bool due(std::int64_t step) const;
 

@@ -1,0 +1,62 @@
+#include "fluid/checkpoint_policy.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace felis::fluid {
+
+namespace {
+
+constexpr const char* kExtension = ".ckpt";
+constexpr std::size_t kExtensionLen = 5;
+
+}  // namespace
+
+std::string checkpoint_file_name(const std::string& basename,
+                                 std::int64_t step) {
+  std::ostringstream os;
+  os << basename << "." << std::setw(10) << std::setfill('0') << step
+     << kExtension;
+  return os.str();
+}
+
+std::optional<std::int64_t> checkpoint_step_from_name(
+    const std::string& name, const std::string& basename) {
+  const std::string prefix = basename + ".";
+  if (name.size() <= prefix.size() + kExtensionLen) return {};
+  if (name.compare(0, prefix.size(), prefix) != 0) return {};
+  if (name.compare(name.size() - kExtensionLen, kExtensionLen, kExtension) !=
+      0)
+    return {};
+  const std::string digits = name.substr(
+      prefix.size(), name.size() - prefix.size() - kExtensionLen);
+  if (digits.empty()) return {};
+  std::int64_t step = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return {};
+    step = step * 10 + (c - '0');
+  }
+  return step;
+}
+
+bool checkpoint_due(std::int64_t every, std::int64_t step) {
+  return every > 0 && step > 0 && step % every == 0;
+}
+
+std::vector<std::int64_t> checkpoint_prune_victims(
+    std::vector<std::int64_t> steps, int keep) {
+  std::sort(steps.begin(), steps.end());
+  if (keep < 1) keep = 1;
+  if (steps.size() <= static_cast<std::size_t>(keep)) return {};
+  steps.resize(steps.size() - static_cast<std::size_t>(keep));
+  return steps;  // oldest first
+}
+
+std::vector<std::int64_t> checkpoint_recovery_order(
+    std::vector<std::int64_t> steps) {
+  std::sort(steps.begin(), steps.end(), std::greater<std::int64_t>());
+  return steps;
+}
+
+}  // namespace felis::fluid

@@ -1,0 +1,49 @@
+/// \file checkpoint_policy.hpp
+/// \brief Pure decision logic of the rotating checkpoint store.
+///
+/// Everything the CheckpointManager decides — which file name encodes which
+/// step, which step (if any) a directory entry belongs to, which files the
+/// rotation prunes, and in which order recovery probes candidates — lives
+/// here as pure functions of values. The manager applies these decisions to
+/// the filesystem; the explicit-state model checker
+/// (src/verify/checkpoint_model.*) explores them exhaustively against
+/// fail-write/truncate/corrupt/crash faults. One implementation, two
+/// drivers: a policy bug found by the checker is by construction the
+/// production bug.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace felis::fluid {
+
+/// `<basename>.<10-digit step>.ckpt` — zero padding keeps lexicographic and
+/// numeric order identical for directory listings.
+std::string checkpoint_file_name(const std::string& basename,
+                                 std::int64_t step);
+
+/// Parse the step index out of `<basename>.<digits>.ckpt`; nullopt for
+/// anything else (tmp files from a crashed rename, foreign files, malformed
+/// names) — such files are invisible to rotation and recovery.
+std::optional<std::int64_t> checkpoint_step_from_name(
+    const std::string& name, const std::string& basename);
+
+/// True when `step` is a scheduled checkpoint step (`every` == 0 disables
+/// scheduled checkpoints).
+bool checkpoint_due(std::int64_t every, std::int64_t step);
+
+/// Rotation: given the steps present on disk (any order), the steps to
+/// delete so that the newest `keep` remain. Never selects the newest step —
+/// in particular never the file just written.
+std::vector<std::int64_t> checkpoint_prune_victims(
+    std::vector<std::int64_t> steps, int keep);
+
+/// Recovery: the order in which candidate steps are probed — newest first,
+/// so the first one that deserializes cleanly (CRCs intact) is the newest
+/// valid state on disk.
+std::vector<std::int64_t> checkpoint_recovery_order(
+    std::vector<std::int64_t> steps);
+
+}  // namespace felis::fluid

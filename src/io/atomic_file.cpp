@@ -106,40 +106,6 @@ std::vector<std::byte> read_file(const std::string& path) {
   return bytes;
 }
 
-DurableAppendWriter::DurableAppendWriter(std::string path, int flush_every)
-    : path_(std::move(path)),
-      flush_every_(flush_every < 1 ? 1 : flush_every),
-      out_(path_, std::ios::app) {
-  FELIS_CHECK_MSG(out_.good(), "cannot open " << path_ << " for appending");
-}
-
-DurableAppendWriter::~DurableAppendWriter() {
-  if (!out_.is_open()) return;
-  out_.flush();
-  out_.close();
-#if defined(__unix__) || defined(__APPLE__)
-  // Best effort — the destructor must not throw.
-  const int fd = ::open(path_.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
-#endif
-}
-
-void DurableAppendWriter::append(const std::string& line) {
-  out_ << line << '\n';
-  FELIS_CHECK_MSG(out_.good(), "failed appending to " << path_);
-  if (++pending_ >= flush_every_) sync();
-}
-
-void DurableAppendWriter::sync() {
-  out_.flush();
-  FELIS_CHECK_MSG(out_.good(), "failed flushing " << path_);
-  fsync_path(path_);
-  pending_ = 0;
-}
-
 AtomicFileWriter::AtomicFileWriter(std::string path)
     : path_(std::move(path)), tmp_path_(path_ + kTmpSuffix), out_(tmp_path_) {
   FELIS_CHECK_MSG(out_.good(), "cannot open " << tmp_path_ << " for writing");

@@ -31,32 +31,6 @@ void atomic_write_file(const std::string& path,
 /// Read a whole file into memory; throws felis::Error if missing/unreadable.
 std::vector<std::byte> read_file(const std::string& path);
 
-/// Append-mode writer for record streams (telemetry NDJSON): each `append()`
-/// adds one complete line and every `flush_every` lines the stream is flushed
-/// and fsync'd. Unlike the tmp+rename writers, the file grows in place —
-/// crash safety here means "every fsync'd prefix is a valid record stream";
-/// a crash can leave at most one torn final line, which readers must skip.
-class DurableAppendWriter {
- public:
-  explicit DurableAppendWriter(std::string path, int flush_every = 1);
-  DurableAppendWriter(const DurableAppendWriter&) = delete;
-  DurableAppendWriter& operator=(const DurableAppendWriter&) = delete;
-  ~DurableAppendWriter();
-
-  /// Write `line` plus a trailing newline; flushes/fsyncs per policy.
-  void append(const std::string& line);
-  /// Force a flush + fsync now (also called by the destructor).
-  void sync();
-
-  const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-  int flush_every_;
-  int pending_ = 0;
-  std::ofstream out_;
-};
-
 /// Streaming variant for text writers (VTK/CSV): write to `stream()`, then
 /// `commit()` flushes, fsyncs and renames into place. Without commit() the
 /// destructor discards the tmp file and the target path is untouched.

@@ -7,7 +7,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
-#include "io/atomic_file.hpp"
+#include "io/durable_append.hpp"
 #include "sched/campaign.hpp"
 #include "telemetry/chrome_trace.hpp"
 
@@ -22,17 +22,13 @@ std::string json_number(double v) {
   return buf;
 }
 
-}  // namespace
-
-ManifestWriter::ManifestWriter(const std::string& path) {
-  std::filesystem::create_directories(
-      std::filesystem::path(path).parent_path());
-  out_ = std::make_unique<io::DurableAppendWriter>(path, /*flush_every=*/1);
+bool is_terminal(const std::string& state) {
+  return state == "done" || state == "failed";
 }
 
-ManifestWriter::~ManifestWriter() = default;
+}  // namespace
 
-void ManifestWriter::write_header(const CampaignSpec& spec) {
+std::string format_header_record(const CampaignSpec& spec) {
   std::ostringstream os;
   os << R"({"type":"header","schema":")" << kManifestSchema
      << R"(","campaign":")" << telemetry::json_escape(spec.config.name)
@@ -40,11 +36,10 @@ void ManifestWriter::write_header(const CampaignSpec& spec) {
      << R"(,"workers":)" << spec.config.workers
      << R"(,"thread_budget":)" << spec.config.thread_budget
      << R"(,"ranks":)" << spec.config.ranks << "}";
-  std::lock_guard<std::mutex> lock(mutex_);
-  out_->append(os.str());
+  return os.str();
 }
 
-void ManifestWriter::write_case(const CaseSpec& spec) {
+std::string format_case_record(const CaseSpec& spec) {
   std::ostringstream os;
   os << R"({"type":"case","case":")" << telemetry::json_escape(spec.id)
      << R"(","threads":)" << spec.threads << R"(,"steps":)" << spec.steps
@@ -58,21 +53,20 @@ void ManifestWriter::write_case(const CaseSpec& spec) {
        << telemetry::json_escape(value) << '"';
   }
   os << "}}";
-  std::lock_guard<std::mutex> lock(mutex_);
-  out_->append(os.str());
+  return os.str();
 }
 
-void ManifestWriter::write_resume(int pending) {
+std::string format_resume_record(int pending) {
   std::ostringstream os;
   os << R"({"type":"resume","pending":)" << pending << "}";
-  std::lock_guard<std::mutex> lock(mutex_);
-  out_->append(os.str());
+  return os.str();
 }
 
-void ManifestWriter::write_transition(
-    const std::string& case_id, const std::string& state, int attempt,
-    double campaign_seconds, double wall_seconds, const std::string& detail,
-    const std::map<std::string, double>& metrics) {
+std::string format_run_record(const std::string& case_id,
+                              const std::string& state, int attempt,
+                              double campaign_seconds, double wall_seconds,
+                              const std::string& detail,
+                              const std::map<std::string, double>& metrics) {
   std::ostringstream os;
   os << R"({"type":"run","case":")" << telemetry::json_escape(case_id)
      << R"(","state":")" << state << R"(","attempt":)" << attempt
@@ -91,8 +85,43 @@ void ManifestWriter::write_transition(
     os << '}';
   }
   os << '}';
+  return os.str();
+}
+
+ManifestWriter::ManifestWriter(const std::string& path) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  out_ = std::make_unique<io::DurableAppendWriter>(path, /*flush_every=*/1);
+}
+
+ManifestWriter::~ManifestWriter() = default;
+
+void ManifestWriter::write_header(const CampaignSpec& spec) {
+  const std::string line = format_header_record(spec);
   std::lock_guard<std::mutex> lock(mutex_);
-  out_->append(os.str());
+  out_->append(line);
+}
+
+void ManifestWriter::write_case(const CaseSpec& spec) {
+  const std::string line = format_case_record(spec);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_->append(line);
+}
+
+void ManifestWriter::write_resume(int pending) {
+  const std::string line = format_resume_record(pending);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_->append(line);
+}
+
+void ManifestWriter::write_transition(
+    const std::string& case_id, const std::string& state, int attempt,
+    double campaign_seconds, double wall_seconds, const std::string& detail,
+    const std::map<std::string, double>& metrics) {
+  const std::string line = format_run_record(
+      case_id, state, attempt, campaign_seconds, wall_seconds, detail, metrics);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_->append(line);
 }
 
 std::string extract_json_string(const std::string& line, const std::string& key,
@@ -159,32 +188,47 @@ std::map<std::string, double> extract_json_metrics(const std::string& line) {
   return metrics;
 }
 
+void apply_manifest_line(ManifestState& state, const std::string& line) {
+  // A kill can tear at most the final line; a record is trustworthy only
+  // when it closes its object.
+  if (line.empty() || line.back() != '}') return;
+  bool has_type = false;
+  const std::string type = extract_json_string(line, "type", &has_type);
+  if (!has_type || type != "run") return;
+  bool ok = false;
+  const std::string id = extract_json_string(line, "case", &ok);
+  if (!ok) return;
+  const std::string run_state = extract_json_string(line, "state", &ok);
+  if (!ok) return;
+  CaseStatus& cs = state.cases[id];
+  if (is_terminal(cs.state) && is_terminal(run_state)) {
+    // Two terminal records with no re-queue in between: a correct scheduler
+    // never writes this. Last-writer-wins here would let a stale `failed`
+    // re-run a completed case, or a stale `done` mask a real failure.
+    throw ManifestReplayError(
+        "manifest replay: duplicate terminal record for case '" + id +
+        "' (journalled '" + cs.state + "', then '" + run_state + "')");
+  }
+  if (cs.completed()) {
+    // `done` is absorbing: a late queued/running/retried append from a stale
+    // attempt must never resurrect a completed case into the run queue.
+    return;
+  }
+  cs.state = run_state;
+  bool has_attempt = false;
+  const int attempt =
+      static_cast<int>(extract_json_number(line, "attempt", &has_attempt));
+  if (has_attempt && attempt > cs.attempts) cs.attempts = attempt;
+  if (run_state == "done") cs.metrics = extract_json_metrics(line);
+}
+
 ManifestState read_manifest(const std::string& path) {
   ManifestState state;
   std::ifstream in(path);
   if (!in.good()) return state;  // fresh campaign: no manifest yet
   state.found = true;
   std::string line;
-  while (std::getline(in, line)) {
-    // A kill can tear at most the final line; a record is trustworthy only
-    // when it closes its object.
-    if (line.empty() || line.back() != '}') continue;
-    bool has_type = false;
-    const std::string type = extract_json_string(line, "type", &has_type);
-    if (!has_type || type != "run") continue;
-    bool ok = false;
-    const std::string id = extract_json_string(line, "case", &ok);
-    if (!ok) continue;
-    const std::string run_state = extract_json_string(line, "state", &ok);
-    if (!ok) continue;
-    CaseStatus& cs = state.cases[id];
-    cs.state = run_state;
-    bool has_attempt = false;
-    const int attempt = static_cast<int>(
-        extract_json_number(line, "attempt", &has_attempt));
-    if (has_attempt && attempt > cs.attempts) cs.attempts = attempt;
-    if (run_state == "done") cs.metrics = extract_json_metrics(line);
-  }
+  while (std::getline(in, line)) apply_manifest_line(state, line);
   return state;
 }
 

@@ -18,6 +18,13 @@
 /// by a later resume). A campaign killed at any instant resumes from its
 /// manifest: `done` cases are never re-run, everything else is re-queued and
 /// its runner picks up from the newest valid checkpoint.
+///
+/// Both sides of the protocol are exposed as *pure* functions —
+/// format_*_record() produce the exact on-disk line and apply_manifest_line()
+/// folds one journal line into a replay state — so the production writer and
+/// reader share one implementation with the explicit-state model checker
+/// (src/verify/manifest_model.*), which explores crash/torn-tail/duplicate
+/// faults over exactly this code.
 #pragma once
 
 #include <map>
@@ -25,6 +32,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/error.hpp"
 #include "sched/sweep.hpp"
 
 namespace felis::io {
@@ -36,6 +44,30 @@ namespace felis::sched {
 struct CampaignSpec;
 
 inline constexpr const char* kManifestSchema = "felis-campaign-1";
+
+/// Replay found journal records that contradict the state machine — e.g. a
+/// second terminal record for a case that is already `done` (last-writer-wins
+/// used to let a stale `failed` resurrect a completed case, re-running it, or
+/// a stale `done` mask a real failure). A valid record stream written by one
+/// scheduler never triggers this; it means two writers shared a manifest or a
+/// writer violated the protocol, and the campaign must stop loudly rather
+/// than guess.
+class ManifestReplayError : public Error {
+ public:
+  explicit ManifestReplayError(const std::string& what) : Error(what) {}
+};
+
+/// Pure record formatters: the exact journal line (no trailing newline) the
+/// writer appends. Shared by ManifestWriter and the protocol model so the
+/// checker explores the real on-disk encoding.
+std::string format_header_record(const CampaignSpec& spec);
+std::string format_case_record(const CaseSpec& spec);
+std::string format_resume_record(int pending);
+std::string format_run_record(const std::string& case_id,
+                              const std::string& state, int attempt,
+                              double campaign_seconds, double wall_seconds,
+                              const std::string& detail = "",
+                              const std::map<std::string, double>& metrics = {});
 
 /// Thread-safe append-side of the manifest (workers log transitions
 /// concurrently). Appending to an existing manifest resumes its journal.
@@ -73,6 +105,17 @@ struct ManifestState {
   std::map<std::string, CaseStatus> cases;
   bool found = false;  ///< manifest file existed
 };
+
+/// Pure replay transition: fold one journal line into `state`. Torn lines
+/// (no closing '}' or a value cut mid-record), blank lines and non-`run`
+/// records are ignored — a kill can tear at most the final line. Rules:
+///  * `done` is absorbing: queued/running/retried records for a completed
+///    case are stale late appends and are ignored, never applied;
+///  * a terminal record (`done`/`failed`) for a case whose replayed state is
+///    already terminal — with no re-queue in between — throws
+///    ManifestReplayError (duplicate terminal record);
+///  * everything else is last-writer-wins, as before.
+void apply_manifest_line(ManifestState& state, const std::string& line);
 
 ManifestState read_manifest(const std::string& path);
 

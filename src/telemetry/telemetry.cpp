@@ -7,6 +7,7 @@
 
 #include "common/logger.hpp"
 #include "io/atomic_file.hpp"
+#include "io/durable_append.hpp"
 
 namespace felis::telemetry {
 

@@ -1,0 +1,135 @@
+/// \file checker.hpp
+/// \brief Minimal explicit-state model checker (exhaustive BFS over hashed
+/// states with counterexample traces).
+///
+/// The crash-safety protocols — the campaign manifest's run-state journal
+/// and the checkpoint rotation — are distributed-systems state machines that
+/// example-based kill tests only sample. This checker explores them
+/// *exhaustively* at small bounds: breadth-first search over a model's state
+/// graph, deduplicating states by a canonical key, evaluating an invariant
+/// in every reachable state, and reconstructing the shortest action trace
+/// from an initial state to the first violation found (BFS order makes the
+/// counterexample minimal in transition count).
+///
+/// A model is any type providing:
+///
+///   using State = ...;                               // copyable value
+///   std::vector<State> initial() const;
+///   std::vector<std::pair<std::string, State>>       // (action label, next)
+///       successors(const State&) const;
+///   std::string invariant(const State&) const;       // "" = holds
+///   std::string key(const State&) const;             // canonical identity
+///   std::string print(const State&) const;           // human-readable dump
+///
+/// The protocol models (manifest_model.*, checkpoint_model.*) call the
+/// *production* transition and record-parsing code — a counterexample here
+/// is by construction a real bug, and `felis_check` prints it as a replayable
+/// action trace.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace felis::verify {
+
+/// One step of a counterexample: the action taken and the state it reached.
+struct TraceStep {
+  std::string action;  ///< "<initial>" for the first step
+  std::string state;   ///< Model::print() of the state after the action
+};
+
+struct CheckStats {
+  usize states = 0;       ///< distinct states explored
+  usize transitions = 0;  ///< edges evaluated (including duplicates)
+  usize depth = 0;        ///< deepest BFS layer reached
+};
+
+struct CheckResult {
+  bool ok = true;        ///< no invariant violation found
+  bool complete = true;  ///< state space exhausted within max_states
+  std::string violation;
+  std::vector<TraceStep> trace;  ///< initial state → violating state
+  CheckStats stats;
+};
+
+/// Exhaustively explore `model` breadth-first. Stops at the first invariant
+/// violation (result.ok == false, shortest trace attached) or when the state
+/// space is exhausted; `max_states` bounds runaway models
+/// (result.complete == false when hit).
+template <class Model>
+CheckResult check(const Model& model, usize max_states = 1000000) {
+  using State = typename Model::State;
+
+  struct Node {
+    State state;
+    usize parent;        // index into nodes; self for roots
+    std::string action;  // edge label from parent
+    usize depth;
+  };
+
+  CheckResult result;
+  std::vector<Node> nodes;
+  std::unordered_map<std::string, usize> seen;  // key -> node index
+  std::deque<usize> frontier;
+
+  const auto trace_to = [&](usize idx) {
+    std::vector<TraceStep> path;
+    while (true) {
+      const Node& n = nodes[idx];
+      path.push_back({n.action, model.print(n.state)});
+      if (n.parent == idx) break;
+      idx = n.parent;
+    }
+    return std::vector<TraceStep>(path.rbegin(), path.rend());
+  };
+
+  const auto visit = [&](State state, usize parent, std::string action,
+                         usize depth) -> bool {
+    const std::string k = model.key(state);
+    if (seen.count(k)) return true;
+    const usize idx = nodes.size();
+    seen.emplace(k, idx);
+    nodes.push_back({std::move(state), parent == usize(-1) ? idx : parent,
+                     std::move(action), depth});
+    result.stats.states = nodes.size();
+    if (depth > result.stats.depth) result.stats.depth = depth;
+    const std::string bad = model.invariant(nodes[idx].state);
+    if (!bad.empty()) {
+      result.ok = false;
+      result.violation = bad;
+      result.trace = trace_to(idx);
+      return false;
+    }
+    frontier.push_back(idx);
+    return true;
+  };
+
+  for (State s : model.initial())
+    if (!visit(std::move(s), usize(-1), "<initial>", 0)) return result;
+
+  while (!frontier.empty()) {
+    if (nodes.size() >= max_states) {
+      result.complete = false;
+      break;
+    }
+    const usize idx = frontier.front();
+    frontier.pop_front();
+    // successors() may reallocate nothing in `nodes`; visit() may, so take
+    // the expansions by value before inserting.
+    const usize depth = nodes[idx].depth;
+    auto next = model.successors(nodes[idx].state);
+    for (auto& [label, state] : next) {
+      ++result.stats.transitions;
+      if (!visit(std::move(state), idx, std::move(label), depth + 1))
+        return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace felis::verify

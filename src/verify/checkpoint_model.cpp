@@ -1,0 +1,234 @@
+#include "verify/checkpoint_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "fluid/checkpoint_policy.hpp"
+
+namespace felis::verify {
+
+namespace {
+
+constexpr const char* kBasename = "felis";
+
+const char* status_name(int status) {
+  switch (status) {
+    case CheckpointModel::kValid: return "valid";
+    case CheckpointModel::kTorn: return "torn";
+    case CheckpointModel::kCorrupt: return "corrupt";
+    default: return "?";
+  }
+}
+
+/// Replace-or-insert the finalized file for `step` (atomic rename replaces
+/// an existing target in place).
+void put_file(CheckpointModel::State& s, int step, int status) {
+  const std::string name =
+      fluid::checkpoint_file_name(kBasename, step);
+  for (auto& f : s.files) {
+    if (f.name == name) {
+      f.status = status;
+      return;
+    }
+  }
+  s.files.push_back({name, status});
+}
+
+}  // namespace
+
+CheckpointModel::CheckpointModel(CheckpointModelOptions opt)
+    : opt_(std::move(opt)) {}
+
+std::vector<CheckpointModel::State> CheckpointModel::initial() const {
+  State s;
+  s.retries_left = opt_.max_retries;
+  s.faults_left = opt_.fault_budget;
+  // A foreign file that rotation and recovery must treat as invisible
+  // (checkpoint_step_from_name rejects it).
+  s.files.push_back({"notes.txt", kValid});
+  return {s};
+}
+
+int CheckpointModel::recovery_target(const State& s) const {
+  // Exactly the production scan: parse names, order newest-first, take the
+  // first file whose CRCs (ghost status) check out.
+  std::vector<std::int64_t> steps;
+  for (const FileEntry& f : s.files) {
+    const auto step = fluid::checkpoint_step_from_name(f.name, kBasename);
+    if (step) steps.push_back(*step);
+  }
+  for (const std::int64_t step : fluid::checkpoint_recovery_order(steps)) {
+    const std::string name = fluid::checkpoint_file_name(kBasename, step);
+    for (const FileEntry& f : s.files) {
+      if (f.name == name && f.status == kValid) return static_cast<int>(step);
+      if (f.name == name) break;  // present but torn/corrupt: skip it
+    }
+  }
+  return 0;
+}
+
+void CheckpointModel::prune(State& s) const {
+  std::vector<std::int64_t> steps;
+  for (const FileEntry& f : s.files) {
+    const auto step = fluid::checkpoint_step_from_name(f.name, kBasename);
+    if (step) steps.push_back(*step);
+  }
+  for (const std::int64_t victim :
+       fluid::checkpoint_prune_victims(steps, opt_.keep)) {
+    const std::string name = fluid::checkpoint_file_name(kBasename, victim);
+    s.files.erase(std::remove_if(s.files.begin(), s.files.end(),
+                                 [&](const FileEntry& f) {
+                                   return f.name == name;
+                                 }),
+                  s.files.end());
+  }
+}
+
+void CheckpointModel::check_recovery(State& s, int before) const {
+  // Ghost truth: the newest step whose finalized file is valid.
+  int ghost = 0;
+  for (const FileEntry& f : s.files) {
+    const auto step = fluid::checkpoint_step_from_name(f.name, kBasename);
+    if (step && f.status == kValid && *step > ghost)
+      ghost = static_cast<int>(*step);
+  }
+  const int got = recovery_target(s);
+  if (got != ghost) {
+    std::ostringstream os;
+    os << "recovery returned step " << got << " but the newest valid "
+       << "checkpoint on disk is step " << ghost;
+    s.violation = os.str();
+    return;
+  }
+  if (opt_.check_monotonic && got < before) {
+    std::ostringstream os;
+    os << "recovery regressed from step " << before << " to step " << got
+       << ": the rotation pruned the last good checkpoint";
+    s.violation = os.str();
+    return;
+  }
+  s.recovered = got;
+}
+
+std::vector<std::pair<std::string, CheckpointModel::State>>
+CheckpointModel::successors(const State& s) const {
+  std::vector<std::pair<std::string, State>> out;
+  if (!s.violation.empty()) return out;
+  if (s.next_step > opt_.steps) return out;  // run finished
+
+  const int step = s.next_step;
+  const std::string tag = "step " + std::to_string(step);
+
+  // Clean write: tmp + fsync + rename lands a valid file, then the rotation
+  // prunes through the production policy.
+  {
+    State t = s;
+    const int before = t.recovered;
+    put_file(t, step, kValid);
+    prune(t);
+    t.next_step += 1;
+    t.retries_left = opt_.max_retries;
+    check_recovery(t, before);
+    // A clean write must itself become the recovery target.
+    if (t.violation.empty() && t.recovered != step) {
+      t.violation = "freshly written checkpoint " + std::to_string(step) +
+                    " is not the recovery target";
+    }
+    out.emplace_back("write " + tag + " ok", std::move(t));
+  }
+
+  if (s.faults_left > 0) {
+    // Transient fail-write: nothing hits the disk; the manager retries with
+    // backoff while retries remain, else the run dies and resumes.
+    {
+      State t = s;
+      t.faults_left -= 1;
+      if (t.retries_left > 0) {
+        t.retries_left -= 1;
+        check_recovery(t, t.recovered);
+        out.emplace_back("write " + tag + " fail-write (will retry)",
+                         std::move(t));
+      } else {
+        // Retries exhausted: the run is killed and restarts from the newest
+        // valid checkpoint; the write is re-attempted next session.
+        t.retries_left = opt_.max_retries;
+        check_recovery(t, t.recovered);
+        out.emplace_back("write " + tag + " fail-write (retries exhausted, "
+                         "run resumes)",
+                         std::move(t));
+      }
+    }
+    // Torn in-place truncate: a prefix survives at the final path, process
+    // dies. Recovery must skip the torn file.
+    {
+      State t = s;
+      const int before = t.recovered;
+      t.faults_left -= 1;
+      put_file(t, step, kTorn);
+      t.retries_left = opt_.max_retries;
+      check_recovery(t, before);
+      out.emplace_back("write " + tag + " torn (crash mid-write)",
+                       std::move(t));
+    }
+    // Silent corrupt: the write "succeeds", rotation prunes as if it were
+    // good — only recovery-time CRCs can tell.
+    {
+      State t = s;
+      const int before = t.recovered;
+      t.faults_left -= 1;
+      put_file(t, step, kCorrupt);
+      prune(t);
+      t.next_step += 1;
+      t.retries_left = opt_.max_retries;
+      check_recovery(t, before);
+      out.emplace_back("write " + tag + " silently corrupt", std::move(t));
+    }
+    // Crash between tmp write and rename: a .tmp leftover that recovery and
+    // rotation must never see as a checkpoint.
+    {
+      State t = s;
+      const int before = t.recovered;
+      t.faults_left -= 1;
+      const std::string tmp =
+          fluid::checkpoint_file_name(kBasename, step) + ".tmp";
+      if (std::none_of(t.files.begin(), t.files.end(),
+                       [&](const FileEntry& f) { return f.name == tmp; }))
+        t.files.push_back({tmp, kValid});
+      t.retries_left = opt_.max_retries;
+      check_recovery(t, before);
+      out.emplace_back("write " + tag + " crash before rename (tmp left)",
+                       std::move(t));
+    }
+  }
+  return out;
+}
+
+std::string CheckpointModel::invariant(const State& s) const {
+  return s.violation;
+}
+
+std::string CheckpointModel::key(const State& s) const {
+  std::ostringstream os;
+  os << s.next_step << '|' << s.retries_left << '|' << s.faults_left << '|'
+     << s.recovered << '#';
+  std::vector<std::string> entries;
+  for (const FileEntry& f : s.files)
+    entries.push_back(f.name + ":" + std::to_string(f.status));
+  std::sort(entries.begin(), entries.end());
+  for (const std::string& e : entries) os << e << ';';
+  os << s.violation;
+  return os.str();
+}
+
+std::string CheckpointModel::print(const State& s) const {
+  std::ostringstream os;
+  os << "next step " << s.next_step << ", retries left " << s.retries_left
+     << ", fault budget left " << s.faults_left << ", recovery target step "
+     << s.recovered << "\n  directory:\n";
+  for (const FileEntry& f : s.files)
+    os << "    " << f.name << " [" << status_name(f.status) << "]\n";
+  if (!s.violation.empty()) os << "  VIOLATION: " << s.violation << "\n";
+  return os.str();
+}
+
+}  // namespace felis::verify

@@ -1,0 +1,95 @@
+/// \file checkpoint_model.hpp
+/// \brief Explicit-state model of checkpoint rotation, retry and recovery.
+///
+/// Models the CheckpointManager's on-disk rotation as a set of real file
+/// *names* (produced by the production fluid::checkpoint_file_name) with a
+/// per-file ghost status the model tracks (valid / torn / corrupt — on the
+/// real disk the status is what the FELISCK2 CRCs report, a correspondence
+/// test_checkpoint.cpp establishes by exhaustive fuzz). Every write step
+/// branches over the FaultInjector fault menu — ok, transient fail-write
+/// (retried), torn in-place truncate, silent corrupt, crash between tmp
+/// write and rename — and rotation pruning plus recovery-order decisions go
+/// through the production policy functions (checkpoint_prune_victims,
+/// checkpoint_recovery_order, checkpoint_step_from_name).
+///
+/// Invariants checked in every reachable state:
+///  * recovery returns exactly the newest valid checkpoint on disk (never a
+///    corrupt/torn file, never an older valid one, never a tmp leftover);
+///  * while fewer than `keep` faulty finalized writes can occur
+///    (fault_budget < keep), a write never makes recovery regress — the
+///    rotation cannot prune the last good checkpoint;
+///  * a failed write consumes retries before surfacing, and a crash at any
+///    point leaves a recoverable rotation once one durable write succeeded.
+///
+/// At fault_budget >= keep the regression invariant genuinely fails (keep
+/// consecutive silent-corrupt writes push every valid file out of the
+/// rotation) — `felis_check --model checkpoint --faults <keep>
+/// --expect-violation` prints that counterexample, which is the documented
+/// reason checkpoint.keep must exceed the number of consecutive bad writes
+/// you want to survive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace felis::verify {
+
+struct CheckpointModelOptions {
+  int steps = 6;         ///< checkpoint steps the run attempts (1..steps)
+  int keep = 3;          ///< rotation depth (CheckpointConfig::keep)
+  int max_retries = 1;   ///< transient-failure retries per write
+  int fault_budget = 2;  ///< total faulty writes the adversary may inject
+  /// When true, the "recovery never regresses" invariant is checked; run
+  /// with fault_budget >= keep to demonstrate the genuine violation.
+  bool check_monotonic = true;
+};
+
+class CheckpointModel {
+ public:
+  explicit CheckpointModel(CheckpointModelOptions opt);
+
+  /// Ghost validity of a finalized file (what the CRCs would report).
+  enum FileStatus : int { kValid = 0, kTorn = 1, kCorrupt = 2 };
+
+  struct FileEntry {
+    std::string name;  ///< real rotation file name (or a tmp/foreign name)
+    int status = kValid;
+  };
+
+  struct State {
+    std::vector<FileEntry> files;  ///< directory contents, insertion order
+    int next_step = 1;
+    int retries_left = 0;   ///< remaining retries for the in-flight write
+    int faults_left = 0;    ///< adversary budget
+    int recovered = 0;      ///< newest valid step after the last transition
+    std::string violation;  ///< transition-time invariant breach
+  };
+
+  std::vector<State> initial() const;
+  std::vector<std::pair<std::string, State>> successors(const State& s) const;
+  std::string invariant(const State& s) const;
+  std::string key(const State& s) const;
+  std::string print(const State& s) const;
+
+  const CheckpointModelOptions& options() const { return opt_; }
+
+  /// What the production recovery scan returns on this directory: walk
+  /// checkpoint_recovery_order over the steps checkpoint_step_from_name
+  /// recognizes and return the first valid one (0 = none, start from
+  /// scratch).
+  int recovery_target(const State& s) const;
+
+ private:
+  void prune(State& s) const;
+  /// Cross-check recovery against ghost truth and the regression invariant,
+  /// then record the new recovery point.
+  void check_recovery(State& s, int before) const;
+
+  CheckpointModelOptions opt_;
+};
+
+}  // namespace felis::verify

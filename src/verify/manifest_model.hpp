@@ -1,0 +1,97 @@
+/// \file manifest_model.hpp
+/// \brief Explicit-state model of the campaign-manifest protocol.
+///
+/// Models a campaign of C cases on W pool workers under a GCD-style thread
+/// budget, journalling every state transition through the *production*
+/// record formatters (sched::format_run_record et al.) and replaying crashes
+/// through the *production* replay transition (sched::apply_manifest_line).
+/// The checker explores every interleaving of admissions, completions,
+/// failures and retries, a process crash after every journalled record —
+/// including torn-tail variants of the final line (the fsync-per-record
+/// contract: at most one torn final line) — and duplicate stale-terminal
+/// record faults.
+///
+/// Invariants checked in every reachable state:
+///  * a case whose `done` record is durable is never re-admitted (no
+///    completed case ever re-runs);
+///  * Σ threads of running cases never exceeds the thread budget, and the
+///    number of concurrently running cases never exceeds the worker count;
+///  * a crash at any journalled point leaves a recoverable manifest: replay
+///    never throws on a single-writer journal, and re-seeds exactly the
+///    non-durable-done cases;
+///  * a stale duplicate terminal record is *rejected* by replay
+///    (ManifestReplayError) instead of resurrecting or masking a case.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace felis::verify {
+
+struct ManifestModelOptions {
+  int cases = 3;
+  int workers = 2;
+  int thread_budget = 3;
+  /// Simulated ranks per case (cycled if shorter than `cases`).
+  std::vector<int> case_threads = {1, 2, 1};
+  /// In-session retry allowance per case (scheduler cfg.max_retries).
+  int max_retries = 1;
+  /// Total failure injections across the run (bounds the retry branching).
+  int max_total_failures = 2;
+  /// Crash/resume depth: 2 = one crash at every journalled point, then the
+  /// resumed session runs to completion.
+  int max_sessions = 2;
+  /// Explore torn variants of the final journal line at each crash point.
+  bool torn_tails = true;
+  /// Explore stale duplicate terminal-record appends (the fault the
+  /// duplicate-rejection fix addresses).
+  bool duplicate_faults = true;
+};
+
+class ManifestModel {
+ public:
+  explicit ManifestModel(ManifestModelOptions opt);
+
+  struct CaseRt {
+    // 0 = queued, 1 = running, 2 = done, 3 = failed (terminal).
+    int status = 0;
+    int attempt = 1;         ///< attempt number of the current/next run
+    int session_retries = 0;
+    int done_journal_idx = -1;  ///< journal index of the done record, if any
+  };
+
+  struct State {
+    std::vector<std::string> journal;  ///< durable records, in append order
+    std::vector<CaseRt> cases;
+    int threads_in_flight = 0;
+    int running = 0;
+    int session = 1;
+    int failures_injected = 0;
+    bool duplicate_rejected = false;  ///< absorbing: fault correctly refused
+    std::string violation;            ///< transition-time invariant breach
+  };
+
+  std::vector<State> initial() const;
+  std::vector<std::pair<std::string, State>> successors(const State& s) const;
+  std::string invariant(const State& s) const;
+  std::string key(const State& s) const;
+  std::string print(const State& s) const;
+
+  const ManifestModelOptions& options() const { return opt_; }
+
+ private:
+  std::string case_id(int i) const;
+  int threads_of(int i) const;
+  /// Crash now, replay the surviving journal through the production parser,
+  /// and re-seed the next session exactly as Scheduler::run() does.
+  /// `torn_prefix_len` < 0 keeps the final line intact; otherwise the final
+  /// line survives only as its first `torn_prefix_len` bytes.
+  State crash_and_resume(const State& s, long torn_prefix_len) const;
+
+  ManifestModelOptions opt_;
+};
+
+}  // namespace felis::verify

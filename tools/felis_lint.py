@@ -31,6 +31,15 @@ Rules
                       through io::atomic_write_file / io::AtomicFileWriter
                       (tmp + fsync + rename), which is the single exempt
                       implementation site (src/io/atomic_file.*).
+  raw-rename-fsync    Library code (src/) must not call rename()/fsync()
+                      (POSIX, std::rename or std::filesystem::rename)
+                      directly: the tmp + fsync + rename + directory-fsync
+                      dance is easy to get subtly wrong (data hits disk after
+                      the rename, torn tails glue onto resumed appends), and
+                      the model checker only covers the sanctioned
+                      implementations. All durable-write plumbing lives in
+                      io::atomic_file.* and io::durable_append.*, the two
+                      exempt sites.
   raw-clock           Library code (src/) must not read the clock directly
                       (steady_clock::now() and friends). Ad-hoc timing drifts
                       off the shared telemetry epoch and never reaches the
@@ -76,6 +85,17 @@ DURABLE_OUTPUT_DIRS = (
 OFSTREAM_EXEMPT = {
     os.path.join("src", "io", "atomic_file.hpp"),
     os.path.join("src", "io", "atomic_file.cpp"),
+    os.path.join("src", "io", "durable_append.hpp"),
+    os.path.join("src", "io", "durable_append.cpp"),
+}
+# The only files allowed to touch rename()/fsync() directly: the atomic-write
+# helper (tmp + fsync + rename) and the durable append journal (fsync'd
+# in-place growth). Everything else goes through their APIs.
+RENAME_FSYNC_EXEMPT = {
+    os.path.join("src", "io", "atomic_file.hpp"),
+    os.path.join("src", "io", "atomic_file.cpp"),
+    os.path.join("src", "io", "durable_append.hpp"),
+    os.path.join("src", "io", "durable_append.cpp"),
 }
 # Sanctioned clock owners: the profiler (region timing), the stream trace
 # recorder and autotuner (device-side timing), and the telemetry layer that
@@ -115,6 +135,17 @@ RAW_OFSTREAM_RE = re.compile(r"std::ofstream\b")
 RAW_CLOCK_RE = re.compile(
     r"(?:steady_clock|system_clock|high_resolution_clock|\bClock)\s*::\s*now\s*\(")
 RAW_THREAD_RE = re.compile(r"std::j?thread\b")
+# Raw rename/fsync calls in any spelling: qualified (std::filesystem::rename,
+# fs::rename, std::rename, ::fsync) or bare. Wrapper names (io::rename_file,
+# fsync_path) do not match: the call paren must follow the function name
+# immediately, and a bare name must not be preceded by an identifier
+# character, `.` or `:` (so `rename_file(` and `x.rename(` stay clean while
+# the qualified alternatives above catch the namespaced forms).
+RAW_RENAME_FSYNC_RE = re.compile(
+    r"(?:std\s*::\s*)?filesystem\s*::\s*rename\s*\(|"
+    r"\b(?:std|fs)\s*::\s*rename\s*\(|"
+    r"(?<![\w.:])(?:rename|fsync)\s*\(|"
+    r"(?<![\w.])::\s*(?:rename|fsync)\s*\(")
 
 TRACKED_ARTIFACT_RES = [
     re.compile(r"(^|/)build[^/]*/"),
@@ -369,6 +400,24 @@ def check_raw_ofstream(root):
     return out
 
 
+def check_raw_rename_fsync(root):
+    out = []
+    exempt = {p.replace(os.sep, "/") for p in RENAME_FSYNC_EXEMPT}
+    for path in iter_files(root, (LIBRARY_DIR,), {".hpp", ".cpp"}):
+        relpath = rel(root, path)
+        if relpath in exempt:
+            continue
+        code = strip_comments_and_strings(open(path, encoding="utf-8").read())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if RAW_RENAME_FSYNC_RE.search(line):
+                out.append(Violation(
+                    relpath, lineno, "raw-rename-fsync",
+                    "raw rename()/fsync() outside the sanctioned durable-"
+                    "write sites; use io::atomic_write_file / "
+                    "io::AtomicFileWriter or io::DurableAppendWriter"))
+    return out
+
+
 def check_raw_clock(root):
     out = []
     exempt = {p.replace(os.sep, "/") for p in CLOCK_EXEMPT}
@@ -414,6 +463,7 @@ ALL_CHECKS = [
     check_build_artifacts,
     check_raw_element_loop,
     check_raw_ofstream,
+    check_raw_rename_fsync,
     check_raw_clock,
     check_raw_thread,
 ]
@@ -483,6 +533,26 @@ SEEDED = {
     "src/io/atomic_file.cpp": (
         None,  # the one sanctioned std::ofstream site
         '#include <fstream>\nvoid a() { std::ofstream out("x.tmp"); }\n'),
+    "src/bad/raw_rename.cpp": (
+        "raw-rename-fsync",
+        '#include <filesystem>\nvoid f() {\n'
+        '  std::filesystem::rename("a.tmp", "a");\n}\n'),
+    "src/bad/raw_fsync.cpp": (
+        "raw-rename-fsync",
+        "#include <unistd.h>\nvoid g(int fd) { fsync(fd); }\n"),
+    "src/bad/raw_posix_rename.cpp": (
+        "raw-rename-fsync",
+        '#include <cstdio>\nvoid h() { ::rename("a.tmp", "a"); }\n'),
+    "src/good/wrapped_rename.cpp": (
+        None,  # wrapper names must not match the raw-rename-fsync rule
+        "void rename_file(const char*, const char*);\n"
+        "void fsync_path(const char*);\nvoid w() {\n"
+        '  rename_file("a.tmp", "a");\n  fsync_path("a");\n}\n'),
+    "src/io/durable_append.cpp": (
+        None,  # sanctioned fsync/ofstream site (append journal)
+        '#include <fstream>\n#include <unistd.h>\n'
+        'void d(int fd) {\n  std::ofstream out("j.ndjson");\n'
+        '  ::fsync(fd);\n}\n'),
     "src/bad/raw_clock.cpp": (
         "raw-clock",
         "#include <chrono>\nvoid t() {\n"

@@ -7,10 +7,9 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "case/rbc.hpp"
+#include "case/registry.hpp"
 #include "compression/compressor.hpp"
 #include "insitu/async_pod.hpp"
-#include "operators/setup.hpp"
 #include "precon/coarse.hpp"
 
 using namespace felis;
@@ -20,24 +19,22 @@ int main(int argc, char** argv) {
   const int steps = argc > 2 ? std::atoi(argv[2]) : 300;
   const int every = argc > 3 ? std::atoi(argv[3]) : 10;
 
-  mesh::BoxMeshConfig box;
-  box.nx = box.ny = 3;
-  box.nz = 3;
-  box.lx = box.ly = 2.0;
-  box.periodic_x = box.periodic_y = true;
-  const mesh::HexMesh mesh = make_box_mesh(box);
+  // The periodic-slab RBC case from the registry, at degree 6 (snapshots
+  // with enough modal content to make the spectral compressor interesting).
+  ParamMap params;
+  params.set("case.type", "rbc");
+  params.set("case.Ra", rayleigh);
+  params.set("case.dt", 1.5e-2);
+  params.set("mesh.degree", 6);
+  const cases::CaseInfo& info = cases::resolve_case(params);
+  const cases::Geometry geo = info.make_geometry(params);
   comm::SelfComm comm;
-  auto fine = operators::make_rank_setup(mesh, 6, comm, true);
-  auto coarse = precon::make_coarse_setup(mesh, comm);
+  auto fine = operators::make_rank_setup(geo.mesh, geo.degree, comm, true);
+  auto coarse = precon::make_coarse_setup(geo.mesh, comm);
 
-  rbc::RbcConfig config;
-  config.rayleigh = rayleigh;
-  config.dt = 1.5e-2;
-  config.perturbation_lx = box.lx;
-  config.perturbation_ly = box.ly;
-  config.flow.velocity_walls = {mesh::FaceTag::kBottom, mesh::FaceTag::kTop};
-  rbc::RbcSimulation sim(fine.ctx(), coarse.ctx(), config);
-  sim.set_initial_conditions();
+  const std::unique_ptr<cases::Case> sim =
+      info.make_case(fine.ctx(), coarse.ctx(), geo, params);
+  sim->set_initial_conditions();
   const operators::Context ctx = fine.ctx();
 
   // In-situ consumers: compressor + asynchronous streaming POD of the
@@ -59,9 +56,9 @@ int main(int argc, char** argv) {
   usize total_raw = 0, total_compressed = 0;
   int snapshots = 0;
   for (int s = 1; s <= steps; ++s) {
-    sim.step();
+    sim->step();
     if (s % every != 0) continue;
-    const RealVec& w = sim.solver().w();
+    const RealVec& w = sim->solver().w();
     // Lossy in-situ compression (what would be written to disk)...
     const compression::CompressedField c = compressor.compress(w, copt);
     total_raw += c.original_bytes;

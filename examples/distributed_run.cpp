@@ -1,8 +1,8 @@
-// Distributed execution: the same RBC case on multiple simulated ranks
-// (threads with message passing — felis' stand-in for MPI, see DESIGN.md),
-// demonstrating the two-phase gather-scatter, per-rank profiling, the
-// task-overlapped pressure preconditioner running with real communication,
-// and per-rank telemetry channels.
+// Distributed execution: the same registered case on multiple simulated
+// ranks (threads with message passing — felis' stand-in for MPI, see
+// DESIGN.md), demonstrating the two-phase gather-scatter, per-rank
+// profiling, the task-overlapped pressure preconditioner running with real
+// communication, and per-rank telemetry channels.
 //
 //   ./distributed_run [ranks] [steps] [telemetry-dir]
 //
@@ -16,8 +16,7 @@
 #include <optional>
 #include <string>
 
-#include "case/rbc.hpp"
-#include "operators/setup.hpp"
+#include "case/registry.hpp"
 #include "precon/coarse.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -28,20 +27,25 @@ int main(int argc, char** argv) {
   const int steps = argc > 2 ? std::atoi(argv[2]) : 60;
   const std::string telemetry_dir = argc > 3 ? argv[3] : "";
 
-  mesh::CylinderMeshConfig cyl;
-  cyl.nc = 2;
-  cyl.nr = 2;
-  cyl.nz = 8;
-  cyl.radius = 0.25;  // slender-ish cell
-  const mesh::HexMesh mesh = make_cylinder_mesh(cyl);
+  // The cylindrical cell from the registry (slender-ish: Γ = D/H = 0.5).
+  // Every rank resolves the same params, so the global mesh is identical
+  // everywhere; it is built once, outside the rank loop.
+  ParamMap params;
+  params.set("case.type", "rbc_cyl");
+  params.set("case.Ra", 5e4);
+  params.set("case.dt", 1.5e-2);
+  params.set("case.aspect", 0.5);
+  params.set("mesh.nz", 8);
+  const cases::CaseInfo& info = cases::resolve_case(params);
+  const cases::Geometry geo = info.make_geometry(params);
 
-  std::printf("distributed RBC: %d ranks (threads-as-ranks), %d elements\n",
-              nranks, mesh.num_elements());
+  std::printf("distributed %s: %d ranks (threads-as-ranks), %d elements\n",
+              info.type.c_str(), nranks, geo.mesh.num_elements());
   std::mutex print_mutex;
 
   comm::run_parallel(nranks, [&](comm::Communicator& comm) {
-    auto fine = operators::make_rank_setup(mesh, 4, comm, true);
-    auto coarse = precon::make_coarse_setup(mesh, comm);
+    auto fine = operators::make_rank_setup(geo.mesh, geo.degree, comm, true);
+    auto coarse = precon::make_coarse_setup(geo.mesh, comm);
 
     // Per-rank telemetry channel: rank r writes <dir>/rank<r>/run.ndjson and
     // its own trace. The rank/size metadata keys disambiguate the channels
@@ -55,9 +59,10 @@ int main(int argc, char** argv) {
           std::move(tc),
           std::map<std::string, std::string>{
               {"program", "distributed_run"},
+              {"type", info.type},
               {"backend", "serial"},
               {"threads", std::to_string(nranks)},
-              {"degree", "4"},
+              {"degree", std::to_string(geo.degree)},
               {"rank", std::to_string(comm.rank())},
               {"size", std::to_string(comm.size())}});
       fine.telemetry = &*telemetry;
@@ -73,20 +78,16 @@ int main(int argc, char** argv) {
     }
     comm.barrier();
 
-    rbc::RbcConfig config;
-    config.rayleigh = 5e4;
-    config.dt = 1.5e-2;
-    config.perturbation_lx = 2 * cyl.radius;
-    config.perturbation_ly = 2 * cyl.radius;
-    // Task-overlapped preconditioner: coarse-grid CG (with its own
-    // communication channel) runs concurrently with the Schwarz smoother.
-    config.flow.overlap = precon::OverlapMode::kTaskParallel;
-    rbc::RbcSimulation sim(fine.ctx(), coarse.ctx(), config);
-    sim.set_initial_conditions();
+    // Task-overlapped preconditioner (the FlowConfig default): coarse-grid
+    // CG with its own communication channel runs concurrently with the
+    // Schwarz smoother.
+    const std::unique_ptr<cases::Case> sim =
+        info.make_case(fine.ctx(), coarse.ctx(), geo, params);
+    sim->set_initial_conditions();
 
     fluid::StepInfo last;
-    for (int s = 0; s < steps; ++s) last = sim.step();
-    const rbc::RbcDiagnostics d = sim.diagnostics();
+    for (int s = 0; s < steps; ++s) last = sim->step();
+    const cases::Observables obs = sim->observables();
     comm.barrier();
 
     if (telemetry) telemetry->finalize();
@@ -94,7 +95,8 @@ int main(int argc, char** argv) {
       std::lock_guard<std::mutex> lock(print_mutex);
       std::printf("\nafter %d steps: t=%.3f Nu_vol=%.4f KE=%.4e "
                   "(identical on every rank)\n",
-                  steps, last.time, d.nusselt_volume, d.kinetic_energy);
+                  steps, last.time, obs.at("nu_volume"),
+                  obs.at("kinetic_energy"));
       std::printf("\nrank 0 wall-time distribution (Fig. 4 style):\n%s\n",
                   fine.prof->report().c_str());
       if (telemetry)

@@ -7,8 +7,11 @@
 //     --steps N            override every case's step count (smoke runs)
 //     --dir PATH           override campaign.dir
 //     --bench-json PATH    also write a BENCH_campaign.json throughput record
+//     --list-cases         print the registered case types and exit
 //
-// The campaign file is an ordinary key = value ParamMap with sweep.* axes:
+// The campaign file is an ordinary key = value ParamMap with sweep.* axes;
+// `case.type` (sweepable: `sweep.type = rbc,rbc2d,ihc`) selects each case's
+// scenario from the case registry:
 //
 //   campaign.name = ra_sweep        sweep.Ra = 2e4:6e5:log4
 //   campaign.workers = 2            case.dt = 1.5e-2
@@ -22,6 +25,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "case/registry.hpp"
 #include "common/error.hpp"
 #include "sched/case_runner.hpp"
 #include "sched/scheduler.hpp"
@@ -35,7 +39,13 @@ int main(int argc, char** argv) {
   bool dry_run = false;
   long steps_override = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--dry-run") == 0) {
+    if (std::strcmp(argv[i], "--list-cases") == 0) {
+      std::printf("registered cases (case.type / sweep.type):\n");
+      for (const cases::CaseInfo& info : cases::Registry::global().infos())
+        std::printf("  %-10s %s\n", info.type.c_str(),
+                    info.description.c_str());
+      return 0;
+    } else if (std::strcmp(argv[i], "--dry-run") == 0) {
       dry_run = true;
     } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
       steps_override = std::atol(argv[++i]);
@@ -53,7 +63,7 @@ int main(int argc, char** argv) {
   if (campaign_file.empty()) {
     std::fprintf(stderr,
                  "usage: felis_campaign <campaign.txt> [--dry-run] [--steps N] "
-                 "[--dir PATH] [--bench-json PATH]\n");
+                 "[--dir PATH] [--bench-json PATH] [--list-cases]\n");
     return 64;
   }
 
@@ -79,6 +89,19 @@ int main(int argc, char** argv) {
   if (steps_override > 0)
     for (sched::CaseSpec& cs : spec.cases) cs.steps = steps_override;
 
+  // Validate every case's type upfront: a typo'd case.type is a config
+  // error, not a runtime failure — refuse to schedule (and burn retries on)
+  // a queue that can never run, and name the available cases instead.
+  for (const sched::CaseSpec& cs : spec.cases) {
+    try {
+      cases::Registry::global().resolve(cs.params.get_string("case.type", "rbc"));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "case '%s': %s\n(try --list-cases)\n",
+                   cs.id.c_str(), e.what());
+      return 65;
+    }
+  }
+
   std::printf("campaign '%s': %zu case(s), %d worker(s), thread budget %d\n",
               spec.config.name.c_str(), spec.cases.size(), spec.config.workers,
               spec.config.thread_budget);
@@ -97,7 +120,7 @@ int main(int argc, char** argv) {
   if (dry_run) return 0;
 
   sched::Scheduler scheduler(std::move(spec),
-                             sched::make_rbc_case_runner());
+                             sched::make_case_runner());
   sched::Scheduler::install_sigint_drain(&scheduler);
   const sched::CampaignReport report = scheduler.run();
   sched::Scheduler::install_sigint_drain(nullptr);

@@ -1,21 +1,22 @@
-// Quickstart: a minimal Rayleigh–Bénard simulation with felis.
+// Quickstart: a minimal felis simulation — the shortest path from nothing
+// to a working convection run.
 //
-// Sets up a small periodic-slab RBC case at Ra = 10⁴ (mildly supercritical),
-// runs 100 time steps and prints the physical diagnostics — the shortest
-// path from nothing to a working convection run.
+// The scenario comes from the case registry: `case.type` in the case file
+// selects any registered case (rbc, rbc2d, rbc_rot, ihc, rbc_cyl, ...); the
+// default is the periodic-slab RBC case at Ra = 10⁴ (mildly supercritical).
 //
 //   ./quickstart [Ra] [steps]
-//   ./quickstart --case my_case.txt [steps]   (key = value file, see
-//                                              rbc::config_from_params)
+//   ./quickstart --case my_case.txt [steps]   (key = value file: case.*,
+//                                              mesh.*, fluid.*, telemetry.*)
+//   ./quickstart --list-cases                 (print the registered cases)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
-#include "case/rbc.hpp"
+#include "case/registry.hpp"
 #include "device/backend.hpp"
-#include "operators/setup.hpp"
 #include "precon/coarse.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -24,6 +25,12 @@ using namespace felis;
 int main(int argc, char** argv) {
   ParamMap params;
   int steps = 100;
+  if (argc > 1 && std::strcmp(argv[1], "--list-cases") == 0) {
+    std::printf("registered cases (case.type):\n");
+    for (const cases::CaseInfo& info : cases::Registry::global().infos())
+      std::printf("  %-10s %s\n", info.type.c_str(), info.description.c_str());
+    return 0;
+  }
   if (argc > 2 && std::strcmp(argv[1], "--case") == 0) {
     std::ifstream in(argv[2]);
     std::stringstream ss;
@@ -35,76 +42,85 @@ int main(int argc, char** argv) {
     if (argc > 2) steps = std::atoi(argv[2]);
   }
 
-  // 1. Mesh: a λ_c-periodic slab between no-slip plates (z ∈ [0,1]).
-  mesh::BoxMeshConfig box;
-  box.nx = box.ny = 3;
-  box.nz = 3;
-  box.lx = box.ly = 2.0;
-  box.lz = 1.0;
-  box.periodic_x = box.periodic_y = true;
-  const mesh::HexMesh mesh = make_box_mesh(box);
-
-  // 2. Discretization: degree-7 spectral elements (the paper's production
-  //    order) plus the degree-1 companion grid for the pressure
-  //    preconditioner; SelfComm = single rank. The device backend comes from
-  //    the `device.backend` case key (or FELIS_BACKEND env, or auto-detect).
-  comm::SelfComm comm;
-  device::Backend& backend = device::select_backend(params);
-  const int degree = 5;
-  auto fine = operators::make_rank_setup(mesh, degree, comm, /*dealias=*/true,
-                                         /*three_halves_rule=*/true, &backend);
-  auto coarse = precon::make_coarse_setup(mesh, comm, &backend);
-
-  // 3. Case: free-fall units, Pr = 1, conduction profile + perturbation.
-  //    Defaults here; a --case file overrides any subset of them.
+  // 1. Scenario: resolve case.type against the registry. Unknown types get
+  //    the registry's message naming every registered case.
   params.set("case.Ra", params.get_real("case.Ra", 1e4));
   params.set("case.dt", params.get_real("case.dt", 2e-2));
-  rbc::RbcConfig config = rbc::config_from_params(params);
-  config.perturbation_lx = box.lx;
-  config.perturbation_ly = box.ly;
-  config.flow.velocity_walls = {mesh::FaceTag::kBottom, mesh::FaceTag::kTop};
+  const std::string type = params.get_string("case.type", "rbc");
+  // Historical quickstart default: degree-5 elements for the slab case
+  // (registered types keep their own defaults when selected explicitly).
+  if (type == "rbc" && !params.has("mesh.degree")) params.set("mesh.degree", 5);
+  const cases::CaseInfo* info = nullptr;
+  try {
+    info = &cases::Registry::global().resolve(type);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n(try --list-cases)\n", e.what());
+    return 65;
+  }
+
+  // 2. Discretization: the case factory builds its mesh from the mesh.*
+  //    keys; SelfComm = single rank. The device backend comes from the
+  //    `device.backend` case key (or FELIS_BACKEND env, or auto-detect).
+  comm::SelfComm comm;
+  device::Backend& backend = device::select_backend(params);
+  const cases::Geometry geo = info->make_geometry(params);
+  auto fine = operators::make_rank_setup(geo.mesh, geo.degree, comm,
+                                         /*dealias=*/true,
+                                         /*three_halves_rule=*/true, &backend);
+  auto coarse = precon::make_coarse_setup(geo.mesh, comm, &backend);
 
   // Optional unified telemetry (telemetry.enabled = true in the case file):
   // per-step NDJSON metrics, a Perfetto-loadable Chrome trace and run-health
   // heartbeats. The metadata keys make telemetry files joinable against
-  // BENCH_*.json outputs (same backend/threads/degree identity).
+  // BENCH_*.json outputs (same backend/threads/degree identity). Attached
+  // before ctx() is taken: the solver copies its Context at construction.
   telemetry::Telemetry telemetry(
       telemetry::config_from_params(params),
       {{"program", "quickstart"},
+       {"type", info->type},
        {"backend", backend.name()},
        {"threads", std::to_string(backend.concurrency())},
-       {"degree", std::to_string(degree)},
-       {"Ra", std::to_string(config.rayleigh)},
-       {"Pr", std::to_string(config.prandtl)},
-       {"dt", std::to_string(config.dt)}});
+       {"degree", std::to_string(geo.degree)},
+       {"Ra", params.get_string("case.Ra", "default")},
+       {"dt", params.get_string("case.dt", "default")}});
   fine.telemetry = &telemetry;
   coarse.telemetry = &telemetry;
 
-  rbc::RbcSimulation sim(fine.ctx(), coarse.ctx(), config);
-  sim.set_initial_conditions();
+  // 3. Case: the registered factory owns boundary conditions, forcing and
+  //    physics; free-fall units throughout.
+  const std::unique_ptr<cases::Case> sim =
+      info->make_case(fine.ctx(), coarse.ctx(), geo, params);
+  sim->set_initial_conditions();
 
-  // 4. Time stepping with live diagnostics.
-  std::printf("felis quickstart: RBC at Ra=%.2g, Pr=%.2g, %d steps of dt=%.3g\n",
-              config.rayleigh, config.prandtl, steps, config.dt);
-  std::printf("%8s %10s %8s %12s %12s %12s\n", "step", "time", "CFL",
+  // 4. Time stepping with live diagnostics (the cross-case observable
+  //    contract: every case reports nu_plate / nu_volume / kinetic_energy).
+  std::printf("felis quickstart: case '%s' (%s), %d steps\n",
+              info->type.c_str(), info->description.c_str(), steps);
+  std::printf("parameters:");
+  for (const auto& [name, value] : sim->parameters())
+    std::printf(" %s=%.4g", name.c_str(), value);
+  std::printf("\n%8s %10s %8s %12s %12s %12s\n", "step", "time", "CFL",
               "Nu(plate)", "Nu(volume)", "kinetic E");
   for (int s = 1; s <= steps; ++s) {
-    const fluid::StepInfo info = sim.step();
+    const fluid::StepInfo step_info = sim->step();
     if (s % 10 == 0 || s == 1) {
-      const rbc::RbcDiagnostics d = sim.diagnostics();
+      const cases::Observables obs = sim->observables();
+      const auto val = [&obs](const char* key) {
+        const auto it = obs.find(key);
+        return it != obs.end() ? it->second : 0.0;
+      };
       std::printf("%8lld %10.3f %8.3f %12.5f %12.5f %12.4e\n",
-                  static_cast<long long>(info.step), info.time, info.cfl,
-                  0.5 * (d.nusselt_bottom + d.nusselt_top), d.nusselt_volume,
-                  d.kinetic_energy);
+                  static_cast<long long>(step_info.step), step_info.time,
+                  step_info.cfl, val("nu_plate"), val("nu_volume"),
+                  val("kinetic_energy"));
     }
   }
 
-  const rbc::RbcDiagnostics d = sim.diagnostics();
-  std::printf("\nfinal: Nu_bottom=%.4f Nu_top=%.4f Nu_volume=%.4f KE=%.4e\n",
-              d.nusselt_bottom, d.nusselt_top, d.nusselt_volume,
-              d.kinetic_energy);
-  std::printf("(Nu > 1 indicates convective heat transport; at Ra < 1708 the "
-              "flow decays back to conduction, Nu = 1.)\n");
+  std::printf("\nfinal:");
+  for (const auto& [name, value] : sim->observables())
+    std::printf(" %s=%.4e", name.c_str(), value);
+  std::printf("\n(Nu > 1 indicates convective heat transport; subcritical "
+              "cases decay back to conduction, Nu = 1.)\n");
 
   if (telemetry.enabled()) {
     telemetry.finalize();

@@ -13,8 +13,7 @@
 #include <fstream>
 #include <vector>
 
-#include "case/rbc.hpp"
-#include "operators/setup.hpp"
+#include "case/registry.hpp"
 #include "io/field_io.hpp"
 #include "precon/coarse.hpp"
 
@@ -98,63 +97,62 @@ int main(int argc, char** argv) {
   const int steps = argc > 2 ? std::atoi(argv[2]) : 400;
   const real_t aspect = argc > 3 ? std::atof(argv[3]) : 1.0;  // D/H
 
-  mesh::CylinderMeshConfig cyl;
-  cyl.nc = 2;
-  cyl.nr = 2;
-  cyl.nz = 6;
-  cyl.radius = 0.5 * aspect;
-  cyl.height = 1.0;
-  const mesh::HexMesh mesh = make_cylinder_mesh(cyl);
+  // The cylinder case from the registry (paper geometry, Pr = 1); the
+  // factory owns the o-grid mesh and boundary conditions.
+  ParamMap params;
+  params.set("case.type", "rbc_cyl");
+  params.set("case.Ra", rayleigh);
+  params.set("case.dt", 1.5e-2);
+  params.set("case.aspect", aspect);
+  params.set("case.perturbation", 2e-2);
+  params.set("mesh.degree", 5);
+  const cases::CaseInfo& case_info = cases::resolve_case(params);
+  const cases::Geometry geo = case_info.make_geometry(params);
+  const real_t radius = 0.5 * geo.lx;
 
   comm::SelfComm comm;
-  const int degree = 5;
-  auto fine = operators::make_rank_setup(mesh, degree, comm, true);
-  auto coarse = precon::make_coarse_setup(mesh, comm);
+  auto fine = operators::make_rank_setup(geo.mesh, geo.degree, comm, true);
+  auto coarse = precon::make_coarse_setup(geo.mesh, comm);
 
-  rbc::RbcConfig config;
-  config.rayleigh = rayleigh;
-  config.prandtl = 1.0;  // the paper's value
-  config.dt = 1.5e-2;
-  config.perturbation = 2e-2;
-  config.perturbation_lx = 2 * cyl.radius;
-  config.perturbation_ly = 2 * cyl.radius;
-  rbc::RbcSimulation sim(fine.ctx(), coarse.ctx(), config);
-  sim.set_initial_conditions();
+  const std::unique_ptr<cases::Case> sim =
+      case_info.make_case(fine.ctx(), coarse.ctx(), geo, params);
+  sim->set_initial_conditions();
 
   std::printf("RBC cylinder: D/H=%.2f, Ra=%.2g, Pr=1, %d elements, N=%d\n",
-              aspect, rayleigh, mesh.num_elements(), degree);
+              aspect, rayleigh, geo.mesh.num_elements(), geo.degree);
   for (int s = 1; s <= steps; ++s) {
-    const fluid::StepInfo info = sim.step();
+    const fluid::StepInfo info = sim->step();
     if (s % 50 == 0) {
-      const rbc::RbcDiagnostics d = sim.diagnostics();
+      const cases::Observables obs = sim->observables();
       std::printf(
           "step %5lld t=%7.3f cfl=%.3f p_iters=%3d Nu_vol=%7.4f KE=%.4e\n",
           static_cast<long long>(info.step), info.time, info.cfl,
-          info.pressure_iterations, d.nusselt_volume, d.kinetic_energy);
+          info.pressure_iterations, obs.at("nu_volume"),
+          obs.at("kinetic_energy"));
     }
   }
 
   // Fig. 1-style output: cross-section AA near the heated bottom wall.
   const operators::Context ctx = fine.ctx();
   RealVec umag(ctx.num_dofs());
-  const RealVec& u = sim.solver().u();
-  const RealVec& v = sim.solver().v();
-  const RealVec& w = sim.solver().w();
+  const RealVec& u = sim->solver().u();
+  const RealVec& v = sim->solver().v();
+  const RealVec& w = sim->solver().w();
   for (usize i = 0; i < umag.size(); ++i)
     umag[i] = std::sqrt(u[i] * u[i] + v[i] * v[i] + w[i] * w[i]);
   const real_t z_aa = 0.1;  // close to the heated bottom wall
   const Slice temp_slice =
-      sample_slice(ctx, sim.solver().temperature(), z_aa, cyl.radius, 48, 24);
-  const Slice umag_slice = sample_slice(ctx, umag, z_aa, cyl.radius, 48, 24);
-  write_csv(temp_slice, cyl.radius, "rbc_cylinder_temperature_AA.csv");
-  write_csv(umag_slice, cyl.radius, "rbc_cylinder_velocity_AA.csv");
+      sample_slice(ctx, sim->solver().temperature(), z_aa, radius, 48, 24);
+  const Slice umag_slice = sample_slice(ctx, umag, z_aa, radius, 48, 24);
+  write_csv(temp_slice, radius, "rbc_cylinder_temperature_AA.csv");
+  write_csv(umag_slice, radius, "rbc_cylinder_velocity_AA.csv");
   // Full 3-D fields for ParaView (GLL-subdivided hexes).
   io::write_vtk("rbc_cylinder.vtk", fine.lmesh, fine.space, fine.coef,
-                {{"temperature", &sim.solver().temperature()},
-                 {"u", &sim.solver().u()},
-                 {"v", &sim.solver().v()},
-                 {"w", &sim.solver().w()},
-                 {"pressure", &sim.solver().pressure()}});
+                {{"temperature", &sim->solver().temperature()},
+                 {"u", &sim->solver().u()},
+                 {"v", &sim->solver().v()},
+                 {"w", &sim->solver().w()},
+                 {"pressure", &sim->solver().pressure()}});
   std::printf("\ncross-section AA at z=%.2f (Fig. 1 content):\n", z_aa);
   ascii_render(umag_slice, "velocity magnitude");
   ascii_render(temp_slice, "temperature");

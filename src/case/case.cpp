@@ -1,0 +1,65 @@
+#include "case/case.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+namespace felis::cases {
+
+fluid::StepInfo Case::step() {
+  telemetry::Telemetry* tel = solver().context().telemetry;
+  if (tel == nullptr || !tel->enabled()) return advance();
+
+  tel->begin_step(solver().step_count() + 1);
+  const fluid::StepInfo info = advance();
+  // Physical observables are charged only on sampled steps: they cost extra
+  // reductions but never touch solver state, so the fields stay bitwise
+  // identical with telemetry on or off.
+  if (tel->sampling_due(info.step)) {
+    telemetry::MetricsRegistry& m = tel->metrics();
+    for (const auto& [name, value] : observables()) m.set("case." + name, value);
+  }
+  tel->end_step(info.step, info.time);
+  return info;
+}
+
+fluid::Checkpoint Case::capture_checkpoint() const {
+  return fluid::capture_checkpoint(solver());
+}
+
+void Case::restore_checkpoint(const fluid::Checkpoint& checkpoint) {
+  fluid::restore_checkpoint(solver(), checkpoint);
+}
+
+bool Case::maybe_checkpoint(fluid::CheckpointManager& manager) const {
+  if (!manager.due(solver().step_count())) return false;
+  manager.write(capture_checkpoint());
+  return true;
+}
+
+bool Case::restore_latest(const fluid::CheckpointManager& manager) {
+  const std::optional<fluid::Checkpoint> latest = manager.load_latest();
+  if (!latest) return false;
+  restore_checkpoint(*latest);
+  return true;
+}
+
+SurfaceFluxZ surface_flux_z(const operators::Context& ctx, const RealVec& dfdz,
+                            mesh::FaceTag tag) {
+  real_t sums[2] = {0, 0};  // flux integral, area
+  const lidx_t npe = ctx.nodes_per_element();
+  const auto it = ctx.coef->boundary.find(tag);
+  if (it != ctx.coef->boundary.end()) {
+    for (const field::BoundaryFace& bf : it->second) {
+      const usize fn = bf.nodes.size();
+      for (usize i = 0; i < fn; ++i) {
+        const usize o = static_cast<usize>(bf.element) * static_cast<usize>(npe) +
+                        static_cast<usize>(bf.nodes[i]);
+        sums[0] += -dfdz[o] * bf.area[i];
+        sums[1] += bf.area[i];
+      }
+    }
+  }
+  ctx.comm->allreduce(sums, 2, comm::ReduceOp::kSum);
+  return {sums[0], sums[1]};
+}
+
+}  // namespace felis::cases

@@ -3,8 +3,6 @@
 #include <cmath>
 #include <random>
 
-#include "telemetry/telemetry.hpp"
-
 namespace felis::rbc {
 
 RbcConfig config_from_params(const ParamMap& params) {
@@ -12,39 +10,30 @@ RbcConfig config_from_params(const ParamMap& params) {
   config.rayleigh = params.get_real("case.Ra", config.rayleigh);
   config.prandtl = params.get_real("case.Pr", config.prandtl);
   config.dt = params.get_real("case.dt", config.dt);
+  config.rossby = params.get_real("case.Ro", config.rossby);
+  config.y_invariant = params.get_bool("case.y_invariant", config.y_invariant);
   config.perturbation = params.get_real("case.perturbation", config.perturbation);
   config.perturbation_lx =
       params.get_real("case.perturbation_lx", config.perturbation_lx);
   config.perturbation_ly =
       params.get_real("case.perturbation_ly", config.perturbation_ly);
   config.seed = static_cast<unsigned>(params.get_int("case.seed", 7));
-  config.flow.max_order = params.get_int("fluid.max_order", config.flow.max_order);
-  config.flow.overlap = params.get_bool("fluid.overlap", true)
-                            ? precon::OverlapMode::kTaskParallel
-                            : precon::OverlapMode::kSerial;
-  config.flow.use_projection =
-      params.get_bool("fluid.use_projection", config.flow.use_projection);
-  config.flow.pressure_control.abs_tol =
-      params.get_real("fluid.pressure_tol", config.flow.pressure_control.abs_tol);
-  config.flow.velocity_control.abs_tol =
-      params.get_real("fluid.velocity_tol", config.flow.velocity_control.abs_tol);
-  config.flow.gmres_restart =
-      params.get_int("fluid.gmres_restart", config.flow.gmres_restart);
-  config.flow.coarse_iterations =
-      params.get_int("fluid.coarse_iterations", config.flow.coarse_iterations);
+  fluid::apply_flow_params(params, config.flow);
   config.checkpoint = fluid::CheckpointManager::config_from_params(params);
   return config;
 }
 
 RbcSimulation::RbcSimulation(const operators::Context& fine,
                              const operators::Context& coarse,
-                             const RbcConfig& config, real_t height)
-    : fine_(fine), config_(config), height_(height) {
+                             const RbcConfig& config, real_t height,
+                             std::string type)
+    : cases::Case(std::move(type)), fine_(fine), config_(config), height_(height) {
   fluid::FlowConfig flow = config.flow;
   flow.dt = config.dt;
   flow.viscosity = rbc_viscosity(config.rayleigh, config.prandtl);
   flow.conductivity = rbc_conductivity(config.rayleigh, config.prandtl);
   flow.buoyancy = 1.0;
+  flow.coriolis = (config.rossby > 0) ? 1.0 / config.rossby : 0.0;
   flow.solve_scalar = true;
   solver_ = std::make_unique<fluid::FlowSolver>(fine, coarse, flow);
 }
@@ -54,11 +43,14 @@ void RbcSimulation::set_initial_conditions() {
   RealVec& temp = solver_->temperature();
   // Conduction profile T = 1 − z/H plus a deterministic multi-mode
   // perturbation vanishing at the plates (so the Dirichlet data is exact).
+  // The same phases are drawn either way so rbc2d differs from rbc only by
+  // the dropped y-modes, not by a shifted random stream.
   std::mt19937 gen(config_.seed);
   std::uniform_real_distribution<real_t> phase(0.0, 2 * M_PI);
   const real_t p1 = phase(gen), p2 = phase(gen), p3 = phase(gen);
   const real_t kx = 2 * M_PI / config_.perturbation_lx;
   const real_t ky = 2 * M_PI / config_.perturbation_ly;
+  const bool flat_y = config_.y_invariant;
   fine_.dev().parallel_for_blocked(
       static_cast<lidx_t>(nd), /*grain=*/0,
       [&](lidx_t begin, lidx_t end, int /*worker*/) {
@@ -68,9 +60,11 @@ void RbcSimulation::set_initial_conditions() {
           const real_t y = fine_.coef->y[i];
           const real_t z = fine_.coef->z[i] / height_;
           const real_t envelope = std::sin(M_PI * z);
-          const real_t noise = std::sin(kx * x + p1) * std::cos(ky * y + p2) +
-                               0.5 * std::sin(2 * kx * x + p3) +
-                               0.25 * std::cos(ky * y - p1);
+          const real_t noise =
+              flat_y ? std::sin(kx * x + p1) + 0.5 * std::sin(2 * kx * x + p3)
+                     : std::sin(kx * x + p1) * std::cos(ky * y + p2) +
+                           0.5 * std::sin(2 * kx * x + p3) +
+                           0.25 * std::cos(ky * y - p1);
           temp[i] = (1.0 - z) + config_.perturbation * envelope * noise;
         }
       });
@@ -83,46 +77,18 @@ void RbcSimulation::set_initial_conditions() {
   solver_->apply_boundary_conditions();
 }
 
-fluid::StepInfo RbcSimulation::step() {
-  telemetry::Telemetry* tel = fine_.telemetry;
-  if (tel == nullptr || !tel->enabled()) return solver_->step();
-
-  tel->begin_step(solver_->step_count() + 1);
-  const fluid::StepInfo info = solver_->step();
-  // Physical diagnostics are charged only on sampled steps: they cost extra
-  // reductions but never touch solver state, so the fields stay bitwise
-  // identical with telemetry on or off.
-  if (tel->sampling_due(info.step)) {
-    const RbcDiagnostics d = diagnostics();
-    telemetry::MetricsRegistry& m = tel->metrics();
-    m.set("case.nu_plate", 0.5 * (d.nusselt_bottom + d.nusselt_top));
-    m.set("case.nu_volume", d.nusselt_volume);
-    m.set("case.kinetic_energy", d.kinetic_energy);
-    m.set("case.temperature_mean", d.temperature_mean);
-  }
-  tel->end_step(info.step, info.time);
-  return info;
+cases::Observables RbcSimulation::observables() const {
+  const RbcDiagnostics d = diagnostics();
+  return {{"nu_plate", 0.5 * (d.nusselt_bottom + d.nusselt_top)},
+          {"nu_volume", d.nusselt_volume},
+          {"kinetic_energy", d.kinetic_energy},
+          {"temperature_mean", d.temperature_mean}};
 }
 
-fluid::Checkpoint RbcSimulation::capture_checkpoint() const {
-  return fluid::capture_checkpoint(*solver_);
-}
-
-void RbcSimulation::restore_checkpoint(const fluid::Checkpoint& checkpoint) {
-  fluid::restore_checkpoint(*solver_, checkpoint);
-}
-
-bool RbcSimulation::maybe_checkpoint(fluid::CheckpointManager& manager) const {
-  if (!manager.due(solver_->step_count())) return false;
-  manager.write(capture_checkpoint());
-  return true;
-}
-
-bool RbcSimulation::restore_latest(const fluid::CheckpointManager& manager) {
-  const std::optional<fluid::Checkpoint> latest = manager.load_latest();
-  if (!latest) return false;
-  restore_checkpoint(*latest);
-  return true;
+cases::Observables RbcSimulation::parameters() const {
+  cases::Observables p = {{"Ra", config_.rayleigh}, {"Pr", config_.prandtl}};
+  if (config_.rossby > 0) p["Ro"] = config_.rossby;
+  return p;
 }
 
 RbcDiagnostics RbcSimulation::diagnostics() const {
@@ -135,31 +101,21 @@ RbcDiagnostics RbcSimulation::diagnostics() const {
   // both equal Nu in steady state). Flux normalized by ΔT/H = 1/H.
   RealVec dtdx(nd), dtdy(nd), dtdz(nd);
   operators::grad(fine_, temp, dtdx, dtdy, dtdz);
-  const lidx_t npe = fine_.nodes_per_element();
   for (const mesh::FaceTag tag : {mesh::FaceTag::kBottom, mesh::FaceTag::kTop}) {
-    real_t sums[2] = {0, 0};  // flux integral, area
-    const auto it = fine_.coef->boundary.find(tag);
-    if (it != fine_.coef->boundary.end()) {
-      for (const field::BoundaryFace& bf : it->second) {
-        const usize fn = bf.nodes.size();
-        for (usize i = 0; i < fn; ++i) {
-          const usize o = static_cast<usize>(bf.element) * static_cast<usize>(npe) +
-                          static_cast<usize>(bf.nodes[i]);
-          sums[0] += -dtdz[o] * bf.area[i];
-          sums[1] += bf.area[i];
-        }
-      }
-    }
-    fine_.comm->allreduce(sums, 2, comm::ReduceOp::kSum);
-    const real_t nu = (sums[1] > 0) ? height_ * sums[0] / sums[1] : 0.0;
+    const cases::SurfaceFluxZ flux = cases::surface_flux_z(fine_, dtdz, tag);
+    const real_t nu =
+        (flux.area > 0) ? height_ * flux.integral / flux.area : 0.0;
     if (tag == mesh::FaceTag::kBottom)
       d.nusselt_bottom = nu;
     else
       d.nusselt_top = nu;
   }
 
-  // Volume averages (counting every global dof once).
-  const RealVec& mult = fine_.gs->inverse_multiplicity();
+  // Volume averages. coef->mass is unassembled (element-local), so the plain
+  // sum is already the exact quadrature: every element integrates its own
+  // sub-volume and the fields are continuous across interfaces. Do NOT weight
+  // by inverse multiplicity — that under-counts interface nodes, whose
+  // per-copy mass is only a partial weight.
   const RealVec& mass = fine_.coef->mass;
   real_t sums[4] = {0, 0, 0, 0};  // wT, |u|², T, volume
   const RealVec& u = solver_->u();
@@ -169,7 +125,7 @@ RbcDiagnostics RbcSimulation::diagnostics() const {
       [&](lidx_t begin, lidx_t end, real_t* acc) {
         for (lidx_t idx = begin; idx < end; ++idx) {
           const usize i = static_cast<usize>(idx);
-          const real_t bw = mass[i] * mult[i];
+          const real_t bw = mass[i];
           acc[0] += bw * w[i] * temp[i];
           acc[1] += bw * (u[i] * u[i] + v[i] * v[i] + w[i] * w[i]);
           acc[2] += bw * temp[i];

@@ -12,15 +12,22 @@
 /// their agreement in a statistically steady state is a standard
 /// verification of RBC codes; Nu(Ra) is the paper's headline science
 /// question (classical Nu~Ra^{1/3} vs ultimate Nu~Ra^{1/2}).
+///
+/// Variants served by the same class through RbcConfig (registered in the
+/// case registry as distinct types, see registry.hpp):
+///  * rossby > 0 — rotating RBC about e_z: adds the Coriolis force
+///    −(1/Ro) ẑ×u (free-fall units), the `rbc_rot` case;
+///  * y_invariant — quasi-2D fast path: the seed perturbation drops all
+///    y-modes so the (deterministic) dynamics stay y-invariant on the thin
+///    periodic box, the cheap `rbc2d` campaign-testing case.
 #pragma once
 
 #include <cmath>
 #include <functional>
 #include <memory>
 
+#include "case/case.hpp"
 #include "common/params.hpp"
-#include "fluid/checkpoint_manager.hpp"
-#include "fluid/flow_solver.hpp"
 
 namespace felis::rbc {
 
@@ -28,6 +35,11 @@ struct RbcConfig {
   real_t rayleigh = 1e5;
   real_t prandtl = 1.0;  ///< paper: Pr = 1
   real_t dt = 1e-3;
+  /// Rossby number for rotation about e_z; 0 = non-rotating. Maps to
+  /// FlowConfig::coriolis = 1/Ro.
+  real_t rossby = 0.0;
+  /// Seed only x-modes (quasi-2D slab fast path, see file comment).
+  bool y_invariant = false;
   fluid::FlowConfig flow;  ///< solver knobs; ν, κ, dt are overwritten
 
   /// Amplitude of the initial temperature perturbation on the conduction
@@ -55,34 +67,27 @@ struct RbcDiagnostics {
   real_t temperature_mean = 0;
 };
 
-class RbcSimulation {
+class RbcSimulation : public cases::Case {
  public:
   /// `fine`/`coarse`: contexts over the RBC mesh (box or cylinder) whose
   /// bottom/top faces are tagged kBottom/kTop. `height`: plate separation
-  /// (non-dimensionally 1 in the paper).
+  /// (non-dimensionally 1 in the paper). `type`: the registered case type
+  /// this instance represents (rbc / rbc2d / rbc_rot / rbc_cyl).
   RbcSimulation(const operators::Context& fine, const operators::Context& coarse,
-                const RbcConfig& config, real_t height = 1.0);
+                const RbcConfig& config, real_t height = 1.0,
+                std::string type = "rbc");
 
   /// Conduction profile + random perturbation; applies the BCs.
-  void set_initial_conditions();
+  void set_initial_conditions() override;
 
-  /// Advance one step. When a telemetry context is attached (fine.telemetry)
-  /// this brackets the step (begin_step/end_step), charges the physical
-  /// `case.*` diagnostics on sampled steps and drives the NDJSON stream and
-  /// run-health watchdog; without telemetry it is exactly solver().step().
-  fluid::StepInfo step();
-  fluid::FlowSolver& solver() { return *solver_; }
-  const fluid::FlowSolver& solver() const { return *solver_; }
+  fluid::FlowSolver& solver() override { return *solver_; }
+  const fluid::FlowSolver& solver() const override { return *solver_; }
 
-  /// Checkpoint/restart. capture/restore move the complete integrator state
-  /// (fields, histories, clock, projection basis, last-step stats);
-  /// maybe_checkpoint writes through the manager when the current step is
-  /// due; restore_latest recovers the newest valid checkpoint after a crash
-  /// (false = cold start, nothing usable on disk).
-  fluid::Checkpoint capture_checkpoint() const;
-  void restore_checkpoint(const fluid::Checkpoint& checkpoint);
-  bool maybe_checkpoint(fluid::CheckpointManager& manager) const;
-  bool restore_latest(const fluid::CheckpointManager& manager);
+  /// nu_plate (mean of both plates), nu_volume, kinetic_energy,
+  /// temperature_mean. Collective.
+  cases::Observables observables() const override;
+  /// Ra, Pr (and Ro when rotating).
+  cases::Observables parameters() const override;
 
   RbcDiagnostics diagnostics() const;
 
@@ -96,12 +101,10 @@ class RbcSimulation {
 };
 
 /// Build an RbcConfig from a parsed case file (see ParamMap::parse). Keys:
-///   case.Ra, case.Pr, case.dt, case.perturbation, case.seed,
-///   case.perturbation_lx/_ly, fluid.max_order, fluid.overlap (bool),
-///   fluid.use_projection, fluid.pressure_tol, fluid.velocity_tol,
-///   fluid.gmres_restart, fluid.coarse_iterations, checkpoint.dir,
-///   checkpoint.basename, checkpoint.keep, checkpoint.every,
-///   checkpoint.compress, checkpoint.retries, checkpoint.backoff_ms.
+///   case.Ra, case.Pr, case.dt, case.Ro, case.perturbation, case.seed,
+///   case.perturbation_lx/_ly, case.y_invariant, the fluid.* solver keys
+///   (see fluid::apply_flow_params) and the checkpoint.* keys
+///   (see fluid::CheckpointManager::config_from_params).
 /// Missing keys keep their defaults.
 RbcConfig config_from_params(const ParamMap& params);
 

@@ -1,0 +1,87 @@
+#include "case/registry.hpp"
+
+#include <sstream>
+
+#include "precon/coarse.hpp"
+
+namespace felis::cases {
+
+void Registry::add(CaseInfo info) {
+  FELIS_CHECK_MSG(!info.type.empty(), "case type must be non-empty");
+  FELIS_CHECK_MSG(info.make_geometry && info.make_case,
+                  "case '" << info.type << "' needs both factories");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = infos_.emplace(info.type, std::move(info));
+  if (!inserted)
+    throw Error("case type '" + it->first + "' is already registered");
+}
+
+const CaseInfo& Registry::resolve(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = infos_.find(type);
+  if (it == infos_.end()) {
+    std::ostringstream os;
+    os << "unknown case type '" << type << "'; registered cases:";
+    for (const auto& [name, info] : infos_) os << " " << name;
+    throw Error(os.str());
+  }
+  return it->second;
+}
+
+bool Registry::contains(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return infos_.count(type) > 0;
+}
+
+std::vector<std::string> Registry::types() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(infos_.size());
+  for (const auto& [name, info] : infos_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+std::vector<CaseInfo> Registry::infos() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CaseInfo> out;
+  out.reserve(infos_.size());
+  for (const auto& [name, info] : infos_) out.push_back(info);
+  return out;
+}
+
+Registry& Registry::global() {
+  // Builtins are installed lazily here rather than by per-TU static
+  // initializers: felis links as static libraries, where nothing references
+  // a registration-only TU and the linker would drop it.
+  static Registry registry;
+  static std::once_flag once;
+  std::call_once(once, [] { detail::register_builtins(registry); });
+  return registry;
+}
+
+const CaseInfo& resolve_case(const ParamMap& params) {
+  return Registry::global().resolve(params.get_string("case.type", "rbc"));
+}
+
+std::unique_ptr<CaseSetup> build_case(const CaseInfo& info,
+                                      const ParamMap& params,
+                                      comm::Communicator& comm,
+                                      device::Backend* backend,
+                                      telemetry::Telemetry* telemetry) {
+  auto setup = std::make_unique<CaseSetup>();
+  setup->geometry = info.make_geometry(params);
+  setup->fine = operators::make_rank_setup(setup->geometry.mesh,
+                                           setup->geometry.degree, comm,
+                                           /*dealias=*/true,
+                                           /*three_halves_rule=*/true, backend);
+  setup->coarse = precon::make_coarse_setup(setup->geometry.mesh, comm, backend);
+  // Attach telemetry before ctx() is taken: the solver copies its Context at
+  // construction, so a later attach would be invisible to it.
+  setup->fine.telemetry = telemetry;
+  setup->sim =
+      info.make_case(setup->fine.ctx(), setup->coarse.ctx(), setup->geometry,
+                     params);
+  return setup;
+}
+
+}  // namespace felis::cases

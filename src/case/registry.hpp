@@ -1,0 +1,113 @@
+/// \file registry.hpp
+/// \brief The case registry: registered factories mapping a `case.type`
+/// string to a scenario (geometry + boundary conditions + forcing + initial
+/// conditions + observables).
+///
+/// Hosts (quickstart, felis_campaign, the distributed driver) never name a
+/// concrete case class; they resolve `case.type` here and build through the
+/// returned CaseInfo. Builtins — the scenario matrix —
+///   rbc      periodic-slab Rayleigh–Bénard (the paper's configuration)
+///   rbc2d    quasi-2D thin slab, low degree: the cheap mass-campaign path
+///   rbc_rot  rotating RBC (Coriolis forcing, case.Ro)
+///   rbc_cyl  cylindrical-cell RBC (o-grid mesh, case.aspect = Γ = D/H)
+///   ihc      internally heated convection (Goluskin, both plates cold)
+/// are registered lazily on first access of Registry::global() — NOT via
+/// static initializers, which a static-library link would silently strip.
+/// External code can add its own types before resolving.
+///
+/// (The ISSUE sketches this as `case::Case`/`case::Registry`; `case` is a
+/// C++ keyword, so the namespace is felis::cases.)
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "case/case.hpp"
+#include "common/params.hpp"
+#include "mesh/hex_mesh.hpp"
+#include "operators/setup.hpp"
+
+namespace felis::cases {
+
+/// A case's discretization domain: the global mesh plus the extents the
+/// case factory needs for physically consistent defaults (e.g. periodic
+/// perturbation wavelengths must equal the box extents).
+struct Geometry {
+  mesh::HexMesh mesh;
+  int degree = 4;  ///< polynomial degree of the fine space
+  real_t lx = 1, ly = 1, lz = 1;  ///< bounding extents (lz = plate gap)
+};
+
+/// Build the global mesh from the mesh.* keys of the case file.
+using GeometryFactory = std::function<Geometry(const ParamMap& params)>;
+/// Build the case over ready-made contexts. `geometry` is the same object
+/// the GeometryFactory returned; `params` carries the case.* keys.
+using CaseFactory = std::function<std::unique_ptr<Case>(
+    const operators::Context& fine, const operators::Context& coarse,
+    const Geometry& geometry, const ParamMap& params)>;
+
+struct CaseInfo {
+  std::string type;         ///< the `case.type` key this factory serves
+  std::string description;  ///< one line for --list-cases
+  GeometryFactory make_geometry;
+  CaseFactory make_case;
+};
+
+/// Thread-safe add-only registry keyed by type. Duplicate registration and
+/// unknown-type resolution both throw felis::Error with messages that name
+/// the offender (and, for resolve, the available types).
+class Registry {
+ public:
+  void add(CaseInfo info);
+  const CaseInfo& resolve(const std::string& type) const;
+  bool contains(const std::string& type) const;
+  std::vector<std::string> types() const;  ///< sorted
+  std::vector<CaseInfo> infos() const;     ///< sorted by type
+
+  /// The process-wide registry, with the builtin scenario matrix installed
+  /// on first use.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, CaseInfo> infos_;
+};
+
+/// Resolve `case.type` (default "rbc") against the global registry.
+const CaseInfo& resolve_case(const ParamMap& params);
+
+/// Everything needed to run a resolved case on one rank. Heap-only and
+/// pinned: operators::Context instances capture raw pointers into the
+/// RankSetup value members, so this object must never move once `sim` is
+/// built (deleting copy also suppresses move).
+struct CaseSetup {
+  Geometry geometry;
+  operators::RankSetup fine;
+  operators::RankSetup coarse;
+  std::unique_ptr<Case> sim;
+
+  CaseSetup() = default;
+  CaseSetup(const CaseSetup&) = delete;
+  CaseSetup& operator=(const CaseSetup&) = delete;
+};
+
+/// Build a case end-to-end on this rank: geometry → fine/coarse rank setups
+/// → case instance. `telemetry` (optional) is attached to the fine setup
+/// *before* contexts are taken, so the solver's internal Context copies see
+/// it. Initial conditions are NOT applied (callers restore-or-seed).
+std::unique_ptr<CaseSetup> build_case(const CaseInfo& info,
+                                      const ParamMap& params,
+                                      comm::Communicator& comm,
+                                      device::Backend* backend = nullptr,
+                                      telemetry::Telemetry* telemetry = nullptr);
+
+namespace detail {
+/// Install the builtin scenario matrix (idempotent only via global()'s
+/// once-guard; tests building private registries may call it directly).
+void register_builtins(Registry& registry);
+}  // namespace detail
+
+}  // namespace felis::cases

@@ -26,6 +26,11 @@ class ParamMap {
   static ParamMap parse(const std::string& text);
 
   void set(const std::string& key, const std::string& value);
+  /// String-literal overload: without it, `set(key, "rbc")` would silently
+  /// pick the bool overload (pointer → bool beats pointer → std::string).
+  void set(const std::string& key, const char* value) {
+    set(key, std::string(value));
+  }
   void set(const std::string& key, real_t value);
   void set(const std::string& key, int value);
   void set(const std::string& key, bool value);

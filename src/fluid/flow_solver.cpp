@@ -134,6 +134,23 @@ void FlowSolver::compute_forcing(std::array<RealVec, 3>& f_weak,
                                }
                              });
   }
+  if (config_.coriolis != 0.0) {
+    // −(1/Ro) ẑ×u = (1/Ro)(v, −u, 0): explicit like buoyancy. Recomputed
+    // from the current velocity, so checkpoint closure needs no new fields.
+    const real_t c = config_.coriolis;
+    const RealVec& mass = fine_.coef->mass;
+    const RealVec& uu = u_[0];
+    const RealVec& vv = u_[1];
+    dev.parallel_for_blocked(static_cast<lidx_t>(nd), /*grain=*/0,
+                             [&](lidx_t begin, lidx_t end, int /*worker*/) {
+                               for (lidx_t i = begin; i < end; ++i) {
+                                 const usize u = static_cast<usize>(i);
+                                 const real_t b = c * mass[u];
+                                 f_weak[0][u] += b * vv[u];
+                                 f_weak[1][u] -= b * uu[u];
+                               }
+                             });
+  }
   if (config_.forcing) {
     RealVec fx(nd, 0.0), fy(nd, 0.0), fz(nd, 0.0);
     config_.forcing(time_, *fine_.coef, fx, fy, fz);
@@ -152,6 +169,18 @@ void FlowSolver::compute_forcing(std::array<RealVec, 3>& f_weak,
   if (config_.solve_scalar) {
     g_weak.assign(nd, 0.0);
     advector_.apply(temp_, g_weak, -1.0);
+    if (config_.forcing_scalar) {
+      RealVec src(nd, 0.0);
+      config_.forcing_scalar(time_, *fine_.coef, src);
+      const RealVec& mass = fine_.coef->mass;
+      dev.parallel_for_blocked(static_cast<lidx_t>(nd), /*grain=*/0,
+                               [&](lidx_t begin, lidx_t end, int /*worker*/) {
+                                 for (lidx_t i = begin; i < end; ++i) {
+                                   const usize u = static_cast<usize>(i);
+                                   g_weak[u] += mass[u] * src[u];
+                                 }
+                               });
+    }
   }
 }
 
@@ -396,6 +425,23 @@ StepInfo FlowSolver::step() {
           static_cast<double>(device::Workspace::process_high_water()));
   }
   return info;
+}
+
+void apply_flow_params(const ParamMap& params, FlowConfig& config) {
+  config.max_order = params.get_int("fluid.max_order", config.max_order);
+  config.overlap = params.get_bool("fluid.overlap", true)
+                       ? precon::OverlapMode::kTaskParallel
+                       : precon::OverlapMode::kSerial;
+  config.use_projection =
+      params.get_bool("fluid.use_projection", config.use_projection);
+  config.pressure_control.abs_tol =
+      params.get_real("fluid.pressure_tol", config.pressure_control.abs_tol);
+  config.velocity_control.abs_tol =
+      params.get_real("fluid.velocity_tol", config.velocity_control.abs_tol);
+  config.gmres_restart =
+      params.get_int("fluid.gmres_restart", config.gmres_restart);
+  config.coarse_iterations =
+      params.get_int("fluid.coarse_iterations", config.coarse_iterations);
 }
 
 }  // namespace felis::fluid

@@ -26,6 +26,7 @@
 #include <memory>
 #include <set>
 
+#include "common/params.hpp"
 #include "krylov/cg.hpp"
 #include "krylov/gmres.hpp"
 #include "krylov/projection.hpp"
@@ -40,14 +41,26 @@ using ForcingFn =
     std::function<void(real_t t, const field::Coef& coef, RealVec& fx,
                        RealVec& fy, RealVec& fz)>;
 
+/// Optional scalar (temperature) source, strong form per local GLL node —
+/// e.g. uniform internal heating. Same conventions as ForcingFn.
+using ScalarForcingFn =
+    std::function<void(real_t t, const field::Coef& coef, RealVec& g)>;
+
 struct FlowConfig {
   real_t dt = 1e-3;
   int max_order = 3;                  ///< BDF/EXT order after startup
   real_t viscosity = 1e-2;            ///< √(Pr/Ra) in free-fall units
   real_t conductivity = 1e-2;         ///< 1/√(Ra·Pr)
   real_t buoyancy = 1.0;              ///< coefficient of T e_z (0 disables)
+  /// Rotation about e_z: adds −coriolis·(ẑ×u) to the momentum equation,
+  /// i.e. coriolis = 1/Ro in free-fall units (0 disables). Treated
+  /// explicitly alongside buoyancy — it depends on the current velocity, so
+  /// it is recomputed from state each step and needs no extra checkpoint
+  /// fields (the forcing histories already carry its lagged values).
+  real_t coriolis = 0.0;
   bool solve_scalar = true;
   ForcingFn forcing;  ///< optional body force (e.g. Kolmogorov forcing)
+  ScalarForcingFn forcing_scalar;  ///< optional scalar source (e.g. heating)
 
   /// Velocity no-slip walls (Dirichlet 0). Empty for fully periodic boxes.
   std::set<mesh::FaceTag> velocity_walls = {
@@ -199,5 +212,13 @@ class FlowSolver {
   krylov::CgSolver cg_;
   std::unique_ptr<krylov::ResidualProjection> pressure_projection_;
 };
+
+/// Apply the solver-tuning keys of a parsed case file onto `config`:
+///   fluid.max_order, fluid.overlap (bool), fluid.use_projection,
+///   fluid.pressure_tol, fluid.velocity_tol, fluid.gmres_restart,
+///   fluid.coarse_iterations.
+/// Missing keys keep their current values, so cases can layer their own
+/// defaults first. Physics keys (ν, κ, buoyancy, dt) are owned by the case.
+void apply_flow_params(const ParamMap& params, FlowConfig& config);
 
 }  // namespace felis::fluid

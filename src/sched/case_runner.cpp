@@ -10,14 +10,12 @@
 #include <utility>
 #include <vector>
 
-#include "case/rbc.hpp"
+#include "case/registry.hpp"
 #include "comm/comm.hpp"
 #include "common/error.hpp"
 #include "fluid/checkpoint_manager.hpp"
 #include "io/atomic_file.hpp"
 #include "io/fault_injector.hpp"
-#include "operators/setup.hpp"
-#include "precon/coarse.hpp"
 #include "sched/manifest.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -60,28 +58,20 @@ void run_rank(const CaseSpec& cs, RunContext& ctx, comm::Communicator& comm,
               std::mutex* result_mutex) {
   const ParamMap& params = cs.params;
 
-  mesh::BoxMeshConfig box;
-  box.nx = params.get_int("mesh.nx", 3);
-  box.ny = params.get_int("mesh.ny", 3);
-  box.nz = params.get_int("mesh.nz", 3);
-  box.lx = params.get_real("mesh.lx", 2.0);
-  box.ly = params.get_real("mesh.ly", 2.0);
-  box.lz = params.get_real("mesh.lz", 1.0);
-  box.periodic_x = box.periodic_y = true;
-  const mesh::HexMesh mesh = make_box_mesh(box);
-  const int degree = params.get_int("mesh.degree", 4);
+  // The registry owns geometry and physics; the runner owns durability and
+  // the run loop. resolve_case throws the available-cases message for
+  // unknown types — callers surface it as the case's failure detail.
+  const cases::CaseInfo& info = cases::resolve_case(params);
+  const cases::Geometry geo = info.make_geometry(params);
 
-  auto fine = operators::make_rank_setup(mesh, degree, comm, /*dealias=*/true);
-  auto coarse = precon::make_coarse_setup(mesh, comm);
-
-  rbc::RbcConfig config = rbc::config_from_params(params);
-  config.perturbation_lx = box.lx;
-  config.perturbation_ly = box.ly;
-  config.flow.velocity_walls = {mesh::FaceTag::kBottom, mesh::FaceTag::kTop};
+  auto fine = operators::make_rank_setup(geo.mesh, geo.degree, comm,
+                                         /*dealias=*/true);
+  auto coarse = precon::make_coarse_setup(geo.mesh, comm);
 
   // Everything durable lives under the run directory; multi-rank cases keep
   // one rotation per rank (`felis.r<k>`) so restores stay rank-local.
-  fluid::CheckpointConfig ck = config.checkpoint;
+  fluid::CheckpointConfig ck =
+      fluid::CheckpointManager::config_from_params(params);
   ck.directory =
       (std::filesystem::path(ctx.run_dir()) / "checkpoints").string();
   if (comm.size() > 1) ck.basename += ".r" + std::to_string(comm.rank());
@@ -101,19 +91,23 @@ void run_rank(const CaseSpec& cs, RunContext& ctx, comm::Communicator& comm,
         std::map<std::string, std::string>{
             {"program", "felis_campaign"},
             {"case", cs.id},
+            {"type", info.type},
             {"backend", "serial"},
             {"threads", std::to_string(cs.threads)},
-            {"degree", std::to_string(degree)},
+            {"degree", std::to_string(geo.degree)},
             {"rank", std::to_string(comm.rank())},
             {"size", std::to_string(comm.size())},
             {"attempt", std::to_string(ctx.attempt())},
-            {"Ra", std::to_string(config.rayleigh)}});
+            {"Ra", params.get_string("case.Ra", "default")}});
+    // Attached before ctx() is taken below: the solver copies its Context at
+    // construction, so a later attach would be invisible.
     fine.telemetry = &*telemetry;
     coarse.telemetry = &*telemetry;
   }
 
-  rbc::RbcSimulation sim(fine.ctx(), coarse.ctx(), config);
-  sim.set_initial_conditions();
+  const std::unique_ptr<cases::Case> sim =
+      info.make_case(fine.ctx(), coarse.ctx(), geo, params);
+  sim->set_initial_conditions();
 
   // Restore: newest valid checkpoint, but never past what every rank has —
   // a crash can leave rank rotations at different steps, and ranks resuming
@@ -127,14 +121,14 @@ void run_rank(const CaseSpec& cs, RunContext& ctx, comm::Communicator& comm,
   if (common >= 0) {
     if (!latest || latest->step != common)
       latest = fluid::Checkpoint::load(manager.path_for_step(common));
-    sim.restore_checkpoint(*latest);
+    sim->restore_checkpoint(*latest);
   }
 
   bool cancelled = false;
-  fluid::StepInfo info{};
-  info.step = sim.solver().step_count();
-  info.time = sim.solver().time();
-  while (sim.solver().step_count() < cs.steps) {
+  fluid::StepInfo step_info{};
+  step_info.step = sim->solver().step_count();
+  step_info.time = sim->solver().time();
+  while (sim->solver().step_count() < cs.steps) {
     // Cancellation consensus: every rank leaves at the same step or none do.
     gidx_t stop = ctx.cancelled() ? 1 : 0;
     if (comm.size() > 1) stop = comm.allreduce_scalar(stop, comm::ReduceOp::kMax);
@@ -142,41 +136,39 @@ void run_rank(const CaseSpec& cs, RunContext& ctx, comm::Communicator& comm,
       cancelled = true;
       break;
     }
-    info = sim.step();
+    step_info = sim->step();
     if (comm.rank() == 0) ctx.heartbeat();
-    sim.maybe_checkpoint(manager);
+    sim->maybe_checkpoint(manager);
   }
   // Seal the run: the final state must be durable for the resume-skip
   // guarantee (a `done` case is never re-run, so its checkpoint is the
   // campaign's record of that case). Skip when the rotation already holds it.
-  if (!cancelled && !manager.due(sim.solver().step_count()))
-    manager.write(sim.capture_checkpoint());
+  if (!cancelled && !manager.due(sim->solver().step_count()))
+    manager.write(sim->capture_checkpoint());
 
-  const rbc::RbcDiagnostics d = sim.diagnostics();  // collective: all ranks
+  const cases::Observables obs = sim->observables();  // collective: all ranks
   if (telemetry) telemetry->finalize();
 
   if (comm.rank() == 0) {
     std::lock_guard<std::mutex> lock(*result_mutex);
     result->ok = !cancelled;
     if (cancelled) result->detail = "cancelled at step " +
-                                    std::to_string(sim.solver().step_count());
+                                    std::to_string(sim->solver().step_count());
     result->metrics = {
-        {"Ra", config.rayleigh},
-        {"Pr", config.prandtl},
-        {"steps", static_cast<double>(sim.solver().step_count())},
-        {"time", static_cast<double>(sim.solver().time())},
-        {"cfl", static_cast<double>(info.cfl)},
-        {"nu_plate", 0.5 * (d.nusselt_bottom + d.nusselt_top)},
-        {"nu_volume", d.nusselt_volume},
-        {"kinetic_energy", d.kinetic_energy},
+        {"steps", static_cast<double>(sim->solver().step_count())},
+        {"time", static_cast<double>(sim->solver().time())},
+        {"cfl", static_cast<double>(step_info.cfl)},
         {"ranks", static_cast<double>(comm.size())},
     };
+    for (const auto& [name, value] : sim->parameters())
+      result->metrics[name] = value;
+    for (const auto& [name, value] : obs) result->metrics[name] = value;
   }
 }
 
 }  // namespace
 
-CaseRunner make_rbc_case_runner(RbcRunnerOptions options) {
+CaseRunner make_case_runner(CaseRunnerOptions options) {
   auto injectors = std::make_shared<InjectorPool>();
   return [options, injectors](const CaseSpec& cs,
                               RunContext& ctx) -> RunResult {
@@ -205,7 +197,8 @@ CaseRunner make_rbc_case_runner(RbcRunnerOptions options) {
 void write_nu_ra_csv(const CampaignSpec& spec, const CampaignReport& report,
                      const std::string& path) {
   // Rows sorted by Ra: the CSV is read as the Nu(Ra) curve the campaign was
-  // launched to measure (bench_nu_ra_scaling's table, per-campaign).
+  // launched to measure (bench_nu_ra_scaling's table, per-campaign) — or,
+  // for a cross-case matrix, grouped by the `type` column.
   std::vector<const CaseOutcome*> rows;
   for (const CaseOutcome& out : report.outcomes)
     if (out.state == "done" && !out.result.metrics.empty())
@@ -219,9 +212,14 @@ void write_nu_ra_csv(const CampaignSpec& spec, const CampaignReport& report,
                      return ra(a) < ra(b);
                    });
 
+  // The case type comes from the expanded spec (metrics are double-valued).
+  std::map<std::string, std::string> type_by_id;
+  for (const CaseSpec& cs : spec.cases)
+    type_by_id[cs.id] = cs.params.get_string("case.type", "rbc");
+
   io::AtomicFileWriter writer(path);
   writer.stream() << "# campaign: " << spec.config.name << "\n"
-                  << "case,Ra,Pr,steps,time,nu_plate,nu_volume,"
+                  << "case,type,Ra,Pr,steps,time,nu_plate,nu_volume,"
                      "kinetic_energy,ranks,attempts,wall_seconds\n";
   const auto metric = [](const CaseOutcome* o, const char* key) {
     const auto it = o->result.metrics.find(key);
@@ -229,7 +227,9 @@ void write_nu_ra_csv(const CampaignSpec& spec, const CampaignReport& report,
   };
   char buf[64];
   for (const CaseOutcome* out : rows) {
-    writer.stream() << out->id;
+    const auto type_it = type_by_id.find(out->id);
+    writer.stream() << out->id << ','
+                    << (type_it != type_by_id.end() ? type_it->second : "rbc");
     for (const char* key : {"Ra", "Pr", "steps", "time", "nu_plate",
                             "nu_volume", "kinetic_energy", "ranks"}) {
       std::snprintf(buf, sizeof(buf), "%.10g", metric(out, key));

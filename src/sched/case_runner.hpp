@@ -1,10 +1,15 @@
 /// \file case_runner.hpp
-/// \brief The default campaign runner: one RBC simulation per case, with
-/// crash-safe checkpointing, restore-on-retry and per-run telemetry.
+/// \brief The default campaign runner: one registered case per campaign
+/// case, with crash-safe checkpointing, restore-on-retry and per-run
+/// telemetry.
 ///
-/// A case runs `case.steps` time steps of the Rayleigh–Bénard case built
-/// from its (sweep-expanded) parameters on `threads` simulated ranks
-/// (comm::run_parallel). Everything a run writes lives under its
+/// A campaign case runs `case.steps` time steps of the scenario its
+/// `case.type` key resolves to in the case registry (cases::Registry — rbc,
+/// rbc2d, rbc_rot, ihc, rbc_cyl, or anything registered on top), built from
+/// its (sweep-expanded) parameters on `threads` simulated ranks
+/// (comm::run_parallel). The runner never names a concrete case class: the
+/// registry's factories own geometry and physics, the runner owns
+/// durability and the run loop. Everything a run writes lives under its
 /// RunContext::run_dir():
 ///
 ///   <campaign.dir>/<case id>/checkpoints/   rotation (per rank: felis.r<k>)
@@ -13,8 +18,9 @@
 /// Fault tolerance contract: every attempt first restores the newest valid
 /// checkpoint (multi-rank: the newest step *common* to all ranks, agreed by
 /// allreduce-min, so ranks never resume from different steps), then steps to
-/// the target. Because restarts are bitwise-exact (PR 3), a case that crashes
-/// and retries finishes in exactly the state of an uninterrupted run.
+/// the target. Because restarts are bitwise-exact (PR 3) for every
+/// registered case, a case that crashes and retries finishes in exactly the
+/// state of an uninterrupted run.
 ///
 /// Fault injection (fault.* case keys or FELIS_FAULT_INJECT) is honoured for
 /// single-rank cases only — one injector per case persists across attempts,
@@ -27,22 +33,27 @@
 
 namespace felis::sched {
 
-struct RbcRunnerOptions {
+struct CaseRunnerOptions {
   /// Honour fault.* keys / FELIS_FAULT_INJECT on single-rank cases.
   bool fault_injection = true;
   /// Attach per-rank telemetry when the case enables telemetry.enabled.
   bool telemetry = true;
 };
 
-/// Build the default runner. The returned callable is thread-safe (the
-/// scheduler invokes it concurrently for different cases) and stateful: it
-/// owns the per-case fault injectors that persist across retry attempts.
-CaseRunner make_rbc_case_runner(RbcRunnerOptions options = {});
+/// Build the default registry-driven runner. The returned callable is
+/// thread-safe (the scheduler invokes it concurrently for different cases)
+/// and stateful: it owns the per-case fault injectors that persist across
+/// retry attempts. Unknown `case.type` values fail the case with the
+/// registry's available-cases message as the failure detail; hosts should
+/// validate types upfront (felis_campaign does) so deterministic config
+/// errors never burn retries.
+CaseRunner make_case_runner(CaseRunnerOptions options = {});
 
-/// Write the campaign-level Nu-vs-Ra summary CSV (the aggregate the
-/// bench_nu_ra_scaling study tabulates): one row per completed case, sorted
-/// by Ra, with both Nusselt measurements, kinetic energy, attempts and wall
-/// time. Atomically replaced (io::AtomicFileWriter).
+/// Write the campaign-level Nu summary CSV (the aggregate the
+/// bench_nu_ra_scaling study and the validation matrix tabulate): one row
+/// per completed case, sorted by Ra, with the case type, both Nusselt
+/// measurements, kinetic energy, attempts and wall time. Atomically
+/// replaced (io::AtomicFileWriter).
 void write_nu_ra_csv(const CampaignSpec& spec, const CampaignReport& report,
                      const std::string& path);
 

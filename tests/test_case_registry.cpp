@@ -1,0 +1,197 @@
+// Tests for the case-plugin registry (src/case/registry.*): registration
+// semantics (duplicates rejected, unknown types named alongside the
+// available ones), per-case config round trips through ParamMap, and the
+// contract every registered scenario must honor — a killed run restored from
+// its newest checkpoint continues bitwise identically to an uninterrupted
+// run, whatever the case's forcing or boundary conditions.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "case/registry.hpp"
+#include "common/error.hpp"
+#include "fluid/checkpoint_manager.hpp"
+#include "io/fault_injector.hpp"
+
+namespace felis::cases {
+namespace {
+
+namespace fs = std::filesystem;
+
+ParamMap matrix_params(const std::string& type) {
+  // The validation-matrix operating point: subcritical, cheap, and exercised
+  // by every builtin (examples/validation_matrix.txt).
+  ParamMap p;
+  p.set("case.type", type);
+  p.set("case.Ra", 1500.0);
+  p.set("case.Pr", 1.0);
+  p.set("case.dt", 2e-2);
+  p.set("case.perturbation", 1e-2);
+  return p;
+}
+
+TEST(CaseRegistry, GlobalRegistryServesTheBuiltinMatrix) {
+  Registry& reg = Registry::global();
+  for (const char* type : {"rbc", "rbc2d", "rbc_rot", "rbc_cyl", "ihc"})
+    EXPECT_TRUE(reg.contains(type)) << type;
+  const std::vector<std::string> types = reg.types();
+  EXPECT_GE(types.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(types.begin(), types.end()));
+  for (const CaseInfo& info : reg.infos()) {
+    EXPECT_FALSE(info.description.empty()) << info.type;
+    EXPECT_TRUE(info.make_geometry != nullptr) << info.type;
+    EXPECT_TRUE(info.make_case != nullptr) << info.type;
+  }
+}
+
+TEST(CaseRegistry, DuplicateRegistrationIsRejected) {
+  Registry reg;  // private registry: the global one must stay pristine
+  detail::register_builtins(reg);
+  CaseInfo dup;
+  dup.type = "rbc";
+  dup.description = "impostor";
+  dup.make_geometry = [](const ParamMap&) { return Geometry{}; };
+  dup.make_case = [](const operators::Context&, const operators::Context&,
+                     const Geometry&,
+                     const ParamMap&) -> std::unique_ptr<Case> {
+    return nullptr;
+  };
+  try {
+    reg.add(std::move(dup));
+    FAIL() << "duplicate registration must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rbc"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("already registered"),
+              std::string::npos);
+  }
+}
+
+TEST(CaseRegistry, UnknownTypeErrorNamesTheRegisteredCases) {
+  try {
+    Registry::global().resolve("warp_drive");
+    FAIL() << "unknown type must throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("warp_drive"), std::string::npos) << msg;
+    // The message must list what IS available, so a typo in a campaign file
+    // is a one-glance fix.
+    for (const char* type : {"rbc", "rbc2d", "rbc_rot", "rbc_cyl", "ihc"})
+      EXPECT_NE(msg.find(type), std::string::npos) << msg;
+  }
+}
+
+TEST(CaseRegistry, ResolveCaseDefaultsToRbc) {
+  EXPECT_EQ(resolve_case(ParamMap()).type, "rbc");
+  ParamMap p;
+  p.set("case.type", "ihc");
+  EXPECT_EQ(resolve_case(p).type, "ihc");
+}
+
+TEST(CaseRegistry, ConfigRoundTripsThroughParamMap) {
+  // Physics keys written into a ParamMap must come back out of the built
+  // case's parameters() — the campaign CSV depends on this.
+  comm::SelfComm comm;
+  for (const std::string& type : Registry::global().types()) {
+    ParamMap p = matrix_params(type);
+    p.set("case.Ra", 2500.0);
+    p.set("case.Pr", 0.7);
+    if (type == "rbc_rot") p.set("case.Ro", 0.5);
+    const std::unique_ptr<CaseSetup> setup =
+        build_case(Registry::global().resolve(type), p, comm);
+    EXPECT_EQ(setup->sim->type(), type);
+    const Observables params = setup->sim->parameters();
+    EXPECT_DOUBLE_EQ(params.at("Ra"), 2500.0) << type;
+    EXPECT_DOUBLE_EQ(params.at("Pr"), 0.7) << type;
+    if (type == "rbc_rot") EXPECT_DOUBLE_EQ(params.at("Ro"), 0.5);
+    // Every case must publish the common observable contract.
+    setup->sim->set_initial_conditions();
+    const Observables obs = setup->sim->observables();
+    for (const char* name : {"nu_plate", "nu_volume", "kinetic_energy"})
+      EXPECT_TRUE(obs.count(name)) << type << " lacks " << name;
+  }
+}
+
+class CaseRegistryRestartTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("felis_case_registry_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fluid::CheckpointConfig config() const {
+    fluid::CheckpointConfig c;
+    c.directory = dir_;
+    c.keep = 3;
+    c.every = 4;
+    c.retry_backoff_ms = 1;
+    return c;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CaseRegistryRestartTest, EveryRegisteredCaseRestoresBitwise) {
+  // The kill-and-restore acceptance scenario of test_checkpoint.cpp, run
+  // against every registered case type through the registry: checkpoint at
+  // step 4, killed while writing at step 8, recovered from the newest valid
+  // checkpoint, bitwise identical to the uninterrupted run at step 10.
+  comm::SelfComm comm;
+  for (const std::string& type : Registry::global().types()) {
+    SCOPED_TRACE(type);
+    const CaseInfo& info = Registry::global().resolve(type);
+    const ParamMap params = matrix_params(type);
+
+    const std::unique_ptr<CaseSetup> ref = build_case(info, params, comm);
+    ref->sim->set_initial_conditions();
+    for (int s = 0; s < 10; ++s) ref->sim->step();
+
+    // First life: dies between the tmp write and the rename at step 8.
+    io::FaultInjector fault(
+        {io::FaultInjector::Mode::kCrash, /*at=*/2, /*count=*/1, 0});
+    auto cfg = config();
+    cfg.directory = dir_ + "/" + type;
+    {
+      fluid::CheckpointManager manager(cfg, &fault);
+      const std::unique_ptr<CaseSetup> first = build_case(info, params, comm);
+      first->sim->set_initial_conditions();
+      bool died = false;
+      for (int s = 0; s < 10 && !died; ++s) {
+        first->sim->step();
+        try {
+          first->sim->maybe_checkpoint(manager);
+        } catch (const io::InjectedCrash&) {
+          died = true;  // the "process" is gone; nothing else may run
+        }
+      }
+      ASSERT_TRUE(died);
+    }
+
+    // Second life: fresh everything, automatic recovery, then catch up.
+    fluid::CheckpointManager manager(cfg);
+    const std::unique_ptr<CaseSetup> second = build_case(info, params, comm);
+    ASSERT_TRUE(second->sim->restore_latest(manager));
+    EXPECT_EQ(second->sim->solver().step_count(), 4);
+    while (second->sim->solver().step_count() < 10) second->sim->step();
+
+    const RealVec& a = ref->sim->solver().u();
+    const RealVec& b = second->sim->solver().u();
+    ASSERT_EQ(a.size(), b.size());
+    for (usize i = 0; i < a.size(); ++i)
+      ASSERT_EQ(a[i], b[i]) << "bitwise mismatch at dof " << i;
+    const RealVec& ta = ref->sim->solver().temperature();
+    const RealVec& tb = second->sim->solver().temperature();
+    for (usize i = 0; i < ta.size(); ++i) ASSERT_EQ(ta[i], tb[i]);
+    EXPECT_EQ(ref->sim->solver().time(), second->sim->solver().time());
+  }
+}
+
+}  // namespace
+}  // namespace felis::cases

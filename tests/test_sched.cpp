@@ -435,7 +435,7 @@ TEST_F(ManifestTest, KilledCampaignAutoRecoversBitwise) {
   // Reference: the same sweep, uninterrupted.
   const std::string ref_dir = dir_ + "/ref";
   CampaignSpec ref_spec = CampaignSpec::from_params(acceptance_params(ref_dir));
-  Scheduler ref(ref_spec, make_rbc_case_runner());
+  Scheduler ref(ref_spec, make_case_runner());
   const CampaignReport ref_report = ref.run();
   ASSERT_TRUE(ref_report.all_done());
   const auto ref_final = final_checkpoints(ref.spec());
@@ -455,7 +455,7 @@ TEST_F(ManifestTest, KilledCampaignAutoRecoversBitwise) {
     cs.params.set("fault.mode", std::string("crash"));
     cs.params.set("fault.at", 2);
   }
-  Scheduler session1(spec1, make_rbc_case_runner());
+  Scheduler session1(spec1, make_case_runner());
   const CampaignReport r1 = session1.run();
   EXPECT_EQ(r1.failed, 1);
   EXPECT_EQ(r1.completed, 3);
@@ -485,7 +485,7 @@ TEST_F(ManifestTest, KilledCampaignAutoRecoversBitwise) {
   // skipped; the failed case re-queues, restores from the newest *valid*
   // checkpoint and catches up.
   CampaignSpec spec2 = CampaignSpec::from_params(acceptance_params(dir));
-  Scheduler session2(spec2, make_rbc_case_runner());
+  Scheduler session2(spec2, make_case_runner());
   const CampaignReport r2 = session2.run();
   EXPECT_EQ(r2.skipped, 3);
   EXPECT_EQ(r2.completed, 1);
@@ -514,7 +514,7 @@ TEST_F(ManifestTest, EnvFaultInjectionCrashRetriesAndRecovers) {
   ASSERT_EQ(::setenv("FELIS_FAULT_INJECT", "mode=crash; at=2", 1), 0);
   ParamMap params = acceptance_params(dir_ + "/env");
   CampaignSpec spec = CampaignSpec::from_params(params);
-  Scheduler scheduler(spec, make_rbc_case_runner());
+  Scheduler scheduler(spec, make_case_runner());
   const CampaignReport report = scheduler.run();
   ASSERT_EQ(::unsetenv("FELIS_FAULT_INJECT"), 0);
   EXPECT_TRUE(report.all_done());
@@ -537,7 +537,7 @@ TEST_F(ManifestTest, MultiRankCaseRunsUnderTheBudget) {
   CampaignSpec spec = CampaignSpec::from_params(params);
   ASSERT_EQ(spec.cases.size(), 1u);
   EXPECT_EQ(spec.cases[0].threads, 2);
-  Scheduler scheduler(spec, make_rbc_case_runner());
+  Scheduler scheduler(spec, make_case_runner());
   const CampaignReport report = scheduler.run();
   ASSERT_TRUE(report.all_done());
   EXPECT_EQ(report.max_threads_in_flight, 2);

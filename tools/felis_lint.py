@@ -47,6 +47,14 @@ Rules
                       durations with telemetry::Stopwatch. Exempt: the clock
                       owners themselves (common/profiler, device/stream,
                       device/autotune and src/telemetry/).
+  case-registry       Scenario plugins are private to src/case/: outside it
+                      (src/ and examples/), no file may include a plugin
+                      header (case/rbc.hpp, case/ihc.hpp, ...) or name a
+                      concrete case class (RbcSimulation,
+                      InternallyHeatedSimulation). Hosts resolve `case.type`
+                      through case/registry.hpp (cases::resolve_case) so new
+                      scenarios need no host changes. tests/ and bench/ are
+                      exempt by design: they exercise plugins directly.
   raw-thread          Library code (src/) must not spawn std::thread /
                       std::jthread directly: untracked threads bypass the
                       campaign scheduler's GCD-style thread budget and the
@@ -117,6 +125,10 @@ THREAD_EXEMPT_DIRS = (
     os.path.join("src", "insitu"),
     os.path.join("src", "sched"),
 )
+# The case-registry rule's scope: library and host code. tests/ and bench/
+# deliberately excluded — they white-box the plugins.
+CASE_PLUGIN_DIRS = ("src", "examples")
+CASE_PLUGIN_EXEMPT_PREFIX = "src/case/"
 
 RAW_ABORT_RE = re.compile(r"(?<![\w.])(assert|abort|exit)\s*\(")
 STDOUT_RE = re.compile(r"std::cout|std::cerr|(?<![\w.])(printf|fprintf|puts)\s*\(")
@@ -141,6 +153,11 @@ RAW_THREAD_RE = re.compile(r"std::j?thread\b")
 # immediately, and a bare name must not be preceded by an identifier
 # character, `.` or `:` (so `rename_file(` and `x.rename(` stay clean while
 # the qualified alternatives above catch the namespaced forms).
+# Plugin-private case headers: anything under case/ except the public
+# interface (case.hpp) and the registry itself.
+CASE_PLUGIN_INCLUDE_RE = re.compile(
+    r'^\s*#\s*include\s+"case/(?!case\.hpp|registry\.hpp)')
+CASE_PLUGIN_TYPE_RE = re.compile(r"\b(RbcSimulation|InternallyHeatedSimulation)\b")
 RAW_RENAME_FSYNC_RE = re.compile(
     r"(?:std\s*::\s*)?filesystem\s*::\s*rename\s*\(|"
     r"\b(?:std|fs)\s*::\s*rename\s*\(|"
@@ -455,6 +472,35 @@ def check_raw_thread(root):
     return out
 
 
+def check_case_registry(root):
+    out = []
+    for path in iter_files(root, CASE_PLUGIN_DIRS, {".hpp", ".cpp"}):
+        relpath = rel(root, path)
+        if relpath.startswith(CASE_PLUGIN_EXEMPT_PREFIX):
+            continue
+        text = open(path, encoding="utf-8").read()
+        # Include directives live inside string-literal quotes, which the
+        # stripper blanks — match them on the raw lines. Type names are
+        # matched on stripped code so comments mentioning them stay legal.
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if CASE_PLUGIN_INCLUDE_RE.match(line):
+                out.append(Violation(
+                    relpath, lineno, "case-registry",
+                    "plugin-private case header included outside src/case/; "
+                    "resolve scenarios through case/registry.hpp "
+                    "(cases::resolve_case) instead"))
+        code = strip_comments_and_strings(text)
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = CASE_PLUGIN_TYPE_RE.search(line)
+            if m:
+                out.append(Violation(
+                    relpath, lineno, "case-registry",
+                    f"direct use of {m.group(1)} outside src/case/; build "
+                    "cases through the registry (cases::resolve_case + "
+                    "make_case)"))
+    return out
+
+
 ALL_CHECKS = [
     check_raw_abort,
     check_stray_stdout,
@@ -466,6 +512,7 @@ ALL_CHECKS = [
     check_raw_rename_fsync,
     check_raw_clock,
     check_raw_thread,
+    check_case_registry,
 ]
 
 
@@ -571,6 +618,31 @@ SEEDED = {
         None,  # the scheduler owns budgeted worker threads
         "#include <thread>\nvoid p() {\n"
         "  std::thread t([] {});\n  t.join();\n}\n"),
+    "src/case/rbc.hpp": (
+        None,  # seeded so the bad include below targets a real project header
+        "/// \\file rbc.hpp\n#pragma once\n"
+        "namespace felis::rbc { class RbcSimulation; }\n"),
+    "src/bad/direct_case_include.cpp": (
+        "case-registry",
+        '#include "case/rbc.hpp"\nvoid f() {}\n'),
+    "src/bad/direct_case_ctor.cpp": (
+        "case-registry",
+        "namespace felis::rbc { class RbcSimulation; }\n"
+        "void g(felis::rbc::RbcSimulation* sim);\n"),
+    "examples/direct_case_example.cpp": (
+        "case-registry",
+        '#include "case/ihc.hpp"\nint main() { return 0; }\n'),
+    "src/case/plugin_site.cpp": (
+        None,  # src/case/ is the sanctioned home of plugin internals
+        '#include "case/rbc.hpp"\n'
+        "void reg(felis::rbc::RbcSimulation*) {}\n"),
+    "src/good/registry_host.cpp": (
+        None,  # resolving through the registry is the sanctioned host path
+        '#include "case/registry.hpp"\nvoid h() {}\n'),
+    "src/case/registry.hpp": (
+        None,
+        "/// \\file registry.hpp\n#pragma once\n"
+        "namespace felis::cases { class Registry; }\n"),
 }
 
 

@@ -99,6 +99,28 @@ BENCHMARK(BM_AxHelmholtz)->Apply([](benchmark::internal::Benchmark* b) {
   sweep(b, {3, 5, 7, 9});
 });
 
+/// The same operator with the tensor kernels pinned to the scalar reference:
+/// the BM_AxHelmholtz / BM_AxHelmholtzRef ratio is the measured autotuning
+/// margin the perf gate's --require-speedup check consumes.
+void BM_AxHelmholtzRef(benchmark::State& state) {
+  KernelFixture f(static_cast<int>(state.range(0)),
+                  static_cast<int>(state.range(1)));
+  f.setup.kernels = field::TensorKernels::reference();
+  const operators::Context ctx = f.setup.ctx();
+  for (auto _ : state) {
+    operators::ax_helmholtz(ctx, f.u, f.out, 1.0, 0.5);
+    benchmark::DoNotOptimize(f.out.data());
+  }
+  const double n = static_cast<double>(state.range(0)) + 1;
+  const double nelem = static_cast<double>(ctx.num_elements());
+  const double npe = std::pow(n, 3);
+  annotate(state, nelem * (12 * std::pow(n, 4) + 18 * npe),
+           nelem * 9 * npe * sizeof(real_t));
+}
+BENCHMARK(BM_AxHelmholtzRef)->Apply([](benchmark::internal::Benchmark* b) {
+  sweep(b, {3, 5, 7, 9});
+});
+
 void BM_DealiasedAdvection(benchmark::State& state) {
   KernelFixture f(static_cast<int>(state.range(0)),
                   static_cast<int>(state.range(1)));
@@ -145,7 +167,15 @@ void BM_GatherScatter(benchmark::State& state) {
   KernelFixture f(static_cast<int>(state.range(0)),
                   static_cast<int>(state.range(1)));
   const operators::Context ctx = f.setup.ctx();
+  // kAdd mutates u in place: without restoring it every iteration the values
+  // grow without bound (u ← Σ-duplicates u each pass) until they overflow to
+  // inf, so later iterations time denormal/inf arithmetic instead of the
+  // kernel. Restore from a pristine copy outside the timed region.
+  const RealVec pristine = f.u;
   for (auto _ : state) {
+    state.PauseTiming();
+    f.u = pristine;
+    state.ResumeTiming();
     ctx.gs->apply(f.u, gs::GsOp::kAdd);
     benchmark::DoNotOptimize(f.u.data());
   }
@@ -240,9 +270,16 @@ class JsonSweepReporter : public benchmark::ConsoleReporter {
     }
   }
 
-  void write(const char* path) const {
+  /// Returns false (after reporting to stderr) when the file cannot be
+  /// written: a silently missing BENCH_kernels.json would make the CI perf
+  /// gate pass vacuously.
+  bool write(const char* path) const {
     std::FILE* fp = std::fopen(path, "w");
-    if (fp == nullptr) return;
+    if (fp == nullptr) {
+      std::fprintf(stderr, "bench_kernels: cannot open %s for writing\n",
+                   path);
+      return false;
+    }
     std::fprintf(fp, "[\n");
     for (usize i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
@@ -256,6 +293,7 @@ class JsonSweepReporter : public benchmark::ConsoleReporter {
     }
     std::fprintf(fp, "]\n");
     std::fclose(fp);
+    return true;
   }
 
  private:
@@ -278,7 +316,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonSweepReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
-  reporter.write("BENCH_kernels.json");
+  const bool wrote = reporter.write("BENCH_kernels.json");
   benchmark::Shutdown();
-  return 0;
+  return wrote ? 0 : 1;
 }

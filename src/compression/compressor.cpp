@@ -104,9 +104,9 @@ void Compressor::to_modal(const RealVec& nodal, RealVec& modal) const {
   RealVec t1(static_cast<usize>(npe)), t2(static_cast<usize>(npe));
   for (lidx_t e = 0; e < lmesh_.num_elements(); ++e) {
     const usize base = static_cast<usize>(e) * static_cast<usize>(npe);
-    field::apply_axis0(to_modal_, nodal.data() + base, t1.data(), n, n);
-    field::apply_axis1(to_modal_, t1.data(), t2.data(), n, n);
-    field::apply_axis2(to_modal_, t2.data(), modal.data() + base, n, n);
+    kernels_.axis0(to_modal_, nodal.data() + base, t1.data(), n, n);
+    kernels_.axis1(to_modal_, t1.data(), t2.data(), n, n);
+    kernels_.axis2(to_modal_, t2.data(), modal.data() + base, n, n);
   }
 }
 
@@ -117,9 +117,9 @@ void Compressor::to_nodal(const RealVec& modal, RealVec& nodal) const {
   RealVec t1(static_cast<usize>(npe)), t2(static_cast<usize>(npe));
   for (lidx_t e = 0; e < lmesh_.num_elements(); ++e) {
     const usize base = static_cast<usize>(e) * static_cast<usize>(npe);
-    field::apply_axis0(to_nodal_, modal.data() + base, t1.data(), n, n);
-    field::apply_axis1(to_nodal_, t1.data(), t2.data(), n, n);
-    field::apply_axis2(to_nodal_, t2.data(), nodal.data() + base, n, n);
+    kernels_.axis0(to_nodal_, modal.data() + base, t1.data(), n, n);
+    kernels_.axis1(to_nodal_, t1.data(), t2.data(), n, n);
+    kernels_.axis2(to_nodal_, t2.data(), nodal.data() + base, n, n);
   }
 }
 

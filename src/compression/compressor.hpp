@@ -18,6 +18,7 @@
 #pragma once
 
 #include "field/space.hpp"
+#include "field/tensor_simd.hpp"
 #include "mesh/partition.hpp"
 
 namespace felis::compression {
@@ -70,6 +71,10 @@ class Compressor {
   const field::Space& space_;
   field::Op1D to_modal_, to_nodal_;  ///< 1-D orthonormal Legendre transforms
   RealVec element_weight_;           ///< per-element volume / 8 (ref volume)
+  /// Tensor kernel table for the modal transforms. Compression runs off the
+  /// hot path (no Context/RankSetup), so this stays at the reference kernels;
+  /// routing through the table keeps the dispatch point in one place.
+  field::TensorKernels kernels_;
 };
 
 }  // namespace felis::compression

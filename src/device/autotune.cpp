@@ -1,0 +1,145 @@
+#include "device/autotune.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/logger.hpp"
+
+namespace felis::device {
+
+TuneResult autotune(const std::vector<TuneCandidate>& candidates, int reps) {
+  FELIS_CHECK_MSG(!candidates.empty(), "autotune: no candidates");
+  // reps < 1 would leave every candidate at the 1e300 sentinel and silently
+  // crown candidate 0; refuse instead of recording garbage timings.
+  FELIS_CHECK_MSG(reps >= 1, "autotune: reps must be >= 1, got " << reps);
+  TuneResult result;
+  result.seconds.resize(candidates.size());
+  using Clock = std::chrono::steady_clock;
+  for (usize c = 0; c < candidates.size(); ++c) {
+    candidates[c].run();  // warmup
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = Clock::now();
+      candidates[c].run();
+      const double dt =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      if (dt < best) best = dt;
+    }
+    result.seconds[c] = best;
+    if (best < result.seconds[result.best_index]) result.best_index = c;
+  }
+  return result;
+}
+
+std::string TuneKey::to_string() const {
+  std::ostringstream os;
+  os << kernel << "/n" << n << "/" << backend << "/" << threads;
+  return os.str();
+}
+
+TuneCache& TuneCache::instance() {
+  static TuneCache cache;
+  return cache;
+}
+
+TuneResult TuneCache::tune(const TuneKey& key,
+                           const std::vector<TuneCandidate>& candidates,
+                           int reps) {
+  FELIS_CHECK_MSG(!candidates.empty(),
+                  "autotune: no candidates for " << key.to_string());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_loaded_) load_file_locked();
+    const auto it = table_.find(key);
+    if (it != table_.end()) {
+      for (usize c = 0; c < candidates.size(); ++c) {
+        if (candidates[c].name == it->second.winner) {
+          TuneResult cached;
+          cached.best_index = c;
+          cached.from_cache = true;
+          return cached;
+        }
+      }
+      // A persisted winner naming no current candidate (stale cache after a
+      // variant rename) falls through to a fresh tune below.
+    }
+  }
+  const TuneResult fresh = autotune(candidates, reps);
+  record(key, candidates[fresh.best_index].name,
+         fresh.seconds[fresh.best_index]);
+  FELIS_LOG_DEBUG("autotune: ", key.to_string(), " -> ",
+                  candidates[fresh.best_index].name);
+  return fresh;
+}
+
+std::string TuneCache::lookup(const TuneKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!file_loaded_) load_file_locked();
+  const auto it = table_.find(key);
+  return it != table_.end() ? it->second.winner : std::string();
+}
+
+void TuneCache::record(const TuneKey& key, const std::string& winner,
+                       double best_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!file_loaded_) load_file_locked();
+  table_[key] = Entry{winner, best_seconds};
+  save_file_locked();
+}
+
+usize TuneCache::size() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return table_.size();
+}
+
+void TuneCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  table_.clear();
+  file_loaded_ = false;
+}
+
+void TuneCache::load_file_locked() {
+  file_loaded_ = true;
+  const char* path = std::getenv("FELIS_TUNE_CACHE");
+  if (path == nullptr || *path == '\0') return;
+  std::ifstream in(path);
+  if (!in) return;  // first run: the file appears after the first tune
+  std::string line;
+  usize loaded = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    TuneKey key;
+    Entry entry;
+    if (ls >> key.kernel >> key.n >> key.backend >> key.threads >>
+        entry.winner >> entry.seconds) {
+      table_[key] = entry;
+      ++loaded;
+    }
+    // Malformed lines (torn tail from a crashed writer) are skipped: the
+    // worst case is one redundant re-tune.
+  }
+  if (loaded > 0)
+    FELIS_LOG_DEBUG("autotune: loaded ", loaded, " cached winner(s) from ",
+                    path);
+}
+
+void TuneCache::save_file_locked() {
+  const char* path = std::getenv("FELIS_TUNE_CACHE");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    FELIS_LOG_WARN("autotune: cannot write FELIS_TUNE_CACHE file ", path);
+    return;
+  }
+  out << "# felis autotune cache: kernel n backend threads winner seconds\n";
+  for (const auto& [key, entry] : table_) {
+    out << key.kernel << ' ' << key.n << ' ' << key.backend << ' '
+        << key.threads << ' ' << entry.winner << ' ' << entry.seconds << '\n';
+  }
+}
+
+}  // namespace felis::device

@@ -7,6 +7,7 @@
 #include "device/backend.hpp"
 #include "field/coef.hpp"
 #include "field/space.hpp"
+#include "field/tensor_simd.hpp"
 #include "gs/gather_scatter.hpp"
 #include "mesh/partition.hpp"
 
@@ -33,9 +34,17 @@ struct Context {
   /// plain operator tests; layers without a Context fall back to
   /// telemetry::Telemetry::current().
   telemetry::Telemetry* telemetry = nullptr;
+  /// Autotuned tensor-product kernel table (owned by RankSetup). Null falls
+  /// back to the reference kernels, so a zero-initialized Context computes
+  /// identical results — every variant is bitwise-equal to the reference.
+  const field::TensorKernels* kernels = nullptr;
 
   device::Backend& dev() const {
     return backend != nullptr ? *backend : device::default_backend();
+  }
+
+  const field::TensorKernels& kern() const {
+    return kernels != nullptr ? *kernels : field::TensorKernels::reference();
   }
 
   lidx_t num_elements() const { return lmesh->num_elements(); }

@@ -88,6 +88,7 @@ void ax_helmholtz(const Context& ctx, const RealVec& u, RealVec& out, real_t h1,
   const int n = sp.n;
   const lidx_t npe = sp.nodes_per_element();
   const lidx_t nelem = ctx.num_elements();
+  const field::TensorKernels& kern = ctx.kern();
   FELIS_CHECK(u.size() == ctx.num_dofs() && out.size() == ctx.num_dofs());
 
   ctx.dev().parallel_for_blocked(
@@ -105,7 +106,7 @@ void ax_helmholtz(const Context& ctx, const RealVec& u, RealVec& out, real_t h1,
           const usize base = static_cast<usize>(e) * npeu;
           const real_t* ue = u.data() + base;
           real_t* oe = out.data() + base;
-          field::grad_ref(sp.d, ue, ur.data(), us.data(), ut.data(), n);
+          kern.grad(sp.d, ue, ur.data(), us.data(), ut.data(), n);
           for (lidx_t q = 0; q < npe; ++q) {
             const usize o = base + static_cast<usize>(q);
             const real_t g11 = coef.g[0][o], g12 = coef.g[1][o],
@@ -118,13 +119,13 @@ void ax_helmholtz(const Context& ctx, const RealVec& u, RealVec& out, real_t h1,
             wt[i] = g13 * ur[i] + g23 * us[i] + g33 * ut[i];
           }
           // out = h1 (D_rᵀ wr + D_sᵀ ws + D_tᵀ wt) + h2 B u.
-          field::apply_axis0(sp.dt, wr.data(), tmp.data(), n, n);
+          kern.axis0(sp.dt, wr.data(), tmp.data(), n, n);
           for (lidx_t q = 0; q < npe; ++q)
             oe[q] = h1 * tmp[static_cast<usize>(q)];
-          field::apply_axis1(sp.dt, ws.data(), tmp.data(), n, n);
+          kern.axis1(sp.dt, ws.data(), tmp.data(), n, n);
           for (lidx_t q = 0; q < npe; ++q)
             oe[q] += h1 * tmp[static_cast<usize>(q)];
-          field::apply_axis2(sp.dt, wt.data(), tmp.data(), n, n);
+          kern.axis2(sp.dt, wt.data(), tmp.data(), n, n);
           for (lidx_t q = 0; q < npe; ++q)
             oe[q] += h1 * tmp[static_cast<usize>(q)];
           if (h2 != 0.0) {
@@ -148,6 +149,7 @@ void grad(const Context& ctx, const RealVec& u, RealVec& dudx, RealVec& dudy,
   const field::Coef& coef = *ctx.coef;
   const int n = sp.n;
   const lidx_t npe = sp.nodes_per_element();
+  const field::TensorKernels& kern = ctx.kern();
   ctx.dev().parallel_for_blocked(
       ctx.num_elements(), /*grain=*/0, [&](lidx_t e0, lidx_t e1, int /*worker*/) {
         device::WorkspaceFrame scratch;
@@ -157,8 +159,7 @@ void grad(const Context& ctx, const RealVec& u, RealVec& dudx, RealVec& dudy,
         RealVec& ut = scratch.vec(npeu);
         for (lidx_t e = e0; e < e1; ++e) {
           const usize base = static_cast<usize>(e) * npeu;
-          field::grad_ref(sp.d, u.data() + base, ur.data(), us.data(),
-                          ut.data(), n);
+          kern.grad(sp.d, u.data() + base, ur.data(), us.data(), ut.data(), n);
           for (lidx_t q = 0; q < npe; ++q) {
             const usize o = base + static_cast<usize>(q);
             const usize i = static_cast<usize>(q);
@@ -182,6 +183,7 @@ void div_weak(const Context& ctx, const RealVec& ux, const RealVec& uy,
   const field::Coef& coef = *ctx.coef;
   const int n = sp.n;
   const lidx_t npe = sp.nodes_per_element();
+  const field::TensorKernels& kern = ctx.kern();
   const RealVec* u[3] = {&ux, &uy, &uz};
   ctx.dev().parallel_for_blocked(
       ctx.num_elements(), /*grain=*/0, [&](lidx_t e0, lidx_t e1, int /*worker*/) {
@@ -211,11 +213,11 @@ void div_weak(const Context& ctx, const RealVec& ux, const RealVec& uy,
             ws[i] = coef.mass[o] * ss;
             wt[i] = coef.mass[o] * st;
           }
-          field::apply_axis0(sp.dt, wr.data(), tmp.data(), n, n);
+          kern.axis0(sp.dt, wr.data(), tmp.data(), n, n);
           for (lidx_t q = 0; q < npe; ++q) oe[q] = tmp[static_cast<usize>(q)];
-          field::apply_axis1(sp.dt, ws.data(), tmp.data(), n, n);
+          kern.axis1(sp.dt, ws.data(), tmp.data(), n, n);
           for (lidx_t q = 0; q < npe; ++q) oe[q] += tmp[static_cast<usize>(q)];
-          field::apply_axis2(sp.dt, wt.data(), tmp.data(), n, n);
+          kern.axis2(sp.dt, wt.data(), tmp.data(), n, n);
           for (lidx_t q = 0; q < npe; ++q) oe[q] += tmp[static_cast<usize>(q)];
         }
       });
@@ -355,6 +357,7 @@ void Advector::set_velocity(const RealVec& cx, const RealVec& cy,
   const field::Coef& coef = *ctx_.coef;
   const int n = sp.n, m = sp.nd;
   const lidx_t npe_d = sp.dealias_nodes_per_element();
+  const field::TensorKernels& kern = ctx_.kern();
   const RealVec* c[3] = {&cx, &cy, &cz};
   ctx_.dev().parallel_for_blocked(
       ctx_.num_elements(), /*grain=*/0, [&](lidx_t e0, lidx_t e1, int /*worker*/) {
@@ -372,8 +375,8 @@ void Advector::set_velocity(const RealVec& cx, const RealVec& cy,
           for (lidx_t q = 0; q < npe_d; ++q)
             for (int a = 0; a < 3; ++a) dst[a][q] = 0;
           for (int b = 0; b < 3; ++b) {
-            field::interp3(sp.interp, c[b]->data() + base, cgl.data(),
-                           work.data(), n, m);
+            kern.interp(sp.interp, c[b]->data() + base, cgl.data(),
+                        work.data(), n, m);
             for (lidx_t q = 0; q < npe_d; ++q) {
               const usize o = base_d + static_cast<usize>(q);
               const real_t cb = cgl[static_cast<usize>(q)] * coef.wjac_d[o];
@@ -395,6 +398,7 @@ void Advector::apply(const RealVec& u, RealVec& out, real_t sign) const {
   const int n = sp.n, m = sp.nd;
   const lidx_t npe = sp.nodes_per_element();
   const lidx_t npe_d = sp.dealias_nodes_per_element();
+  const field::TensorKernels& kern = ctx_.kern();
   ctx_.dev().parallel_for_blocked(
       ctx_.num_elements(), /*grain=*/0, [&](lidx_t e0, lidx_t e1, int /*worker*/) {
         device::WorkspaceFrame scratch;
@@ -411,30 +415,30 @@ void Advector::apply(const RealVec& u, RealVec& out, real_t sign) const {
           // Gauss points via mixed tensor chains (derivative on axis a,
           // interpolation on the others).
           // axis r: dgl ⊗ interp ⊗ interp.
-          field::apply_axis0(sp.dgl, ue, t1.data(), n, n);
-          field::apply_axis1(sp.interp, t1.data(), t2.data(), m, n);
-          field::apply_axis2(sp.interp, t2.data(), t1.data(), m, m);
+          kern.axis0(sp.dgl, ue, t1.data(), n, n);
+          kern.axis1(sp.interp, t1.data(), t2.data(), m, n);
+          kern.axis2(sp.interp, t2.data(), t1.data(), m, m);
           for (lidx_t q = 0; q < npe_d; ++q)
             s[static_cast<usize>(q)] =
                 cr_[base_d + static_cast<usize>(q)] * t1[static_cast<usize>(q)];
           // axis s.
-          field::apply_axis0(sp.interp, ue, t1.data(), n, n);
-          field::apply_axis1(sp.dgl, t1.data(), t2.data(), m, n);
-          field::apply_axis2(sp.interp, t2.data(), t1.data(), m, m);
+          kern.axis0(sp.interp, ue, t1.data(), n, n);
+          kern.axis1(sp.dgl, t1.data(), t2.data(), m, n);
+          kern.axis2(sp.interp, t2.data(), t1.data(), m, m);
           for (lidx_t q = 0; q < npe_d; ++q)
             s[static_cast<usize>(q)] +=
                 cs_[base_d + static_cast<usize>(q)] * t1[static_cast<usize>(q)];
           // axis t.
-          field::apply_axis0(sp.interp, ue, t1.data(), n, n);
-          field::apply_axis1(sp.interp, t1.data(), t2.data(), m, n);
-          field::apply_axis2(sp.dgl, t2.data(), t1.data(), m, m);
+          kern.axis0(sp.interp, ue, t1.data(), n, n);
+          kern.axis1(sp.interp, t1.data(), t2.data(), m, n);
+          kern.axis2(sp.dgl, t2.data(), t1.data(), m, m);
           for (lidx_t q = 0; q < npe_d; ++q)
             s[static_cast<usize>(q)] +=
                 ct_[base_d + static_cast<usize>(q)] * t1[static_cast<usize>(q)];
           // Project back: out += sign · interpᵀ s (Galerkin weak form).
-          field::apply_axis0(sp.interp_t, s.data(), t1.data(), m, m);
-          field::apply_axis1(sp.interp_t, t1.data(), t2.data(), n, m);
-          field::apply_axis2(sp.interp_t, t2.data(), ua.data(), n, n);
+          kern.axis0(sp.interp_t, s.data(), t1.data(), m, m);
+          kern.axis1(sp.interp_t, t1.data(), t2.data(), n, m);
+          kern.axis2(sp.interp_t, t2.data(), ua.data(), n, n);
           real_t* oe = out.data() + base;
           for (lidx_t q = 0; q < npe; ++q)
             oe[q] += sign * ua[static_cast<usize>(q)];

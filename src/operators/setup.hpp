@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "operators/context.hpp"
+#include "operators/tensor_dispatch.hpp"
 
 namespace felis::operators {
 
@@ -21,6 +22,9 @@ struct RankSetup {
   comm::Communicator* comm = nullptr;
   device::Backend* backend = nullptr;  ///< null = process default
   telemetry::Telemetry* telemetry = nullptr;  ///< null = telemetry off
+  /// Autotuned tensor kernels for this space/backend (reference table until
+  /// tune_tensor_kernels fills it in make_rank_setup).
+  field::TensorKernels kernels;
 
   Context ctx() const {
     Context c;
@@ -32,6 +36,7 @@ struct RankSetup {
     c.prof = prof.get();
     c.backend = backend;
     c.telemetry = telemetry;
+    c.kernels = &kernels;
     return c;
   }
 };
@@ -56,6 +61,8 @@ inline RankSetup make_rank_setup(const mesh::HexMesh& global_mesh, int degree,
   s.prof = std::make_unique<Profiler>();
   s.comm = &comm;
   s.backend = backend;
+  s.kernels = tune_tensor_kernels(
+      s.space, backend != nullptr ? *backend : device::default_backend());
   return s;
 }
 

@@ -1,0 +1,139 @@
+#include "operators/tensor_dispatch.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logger.hpp"
+#include "device/autotune.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace felis::operators {
+
+namespace {
+
+/// Elements of representative data per candidate invocation: enough work to
+/// rise above clock resolution, small enough to keep setup instant.
+constexpr lidx_t kTuneElements = 8;
+constexpr int kTuneReps = 3;
+
+bool tuning_disabled() {
+  const char* env = std::getenv("FELIS_TUNE");
+  if (env == nullptr) return false;
+  const std::string v(env);
+  return v == "off" || v == "0" || v == "false";
+}
+
+/// Smooth deterministic filler (no RNG: tuning inputs must not perturb any
+/// seeded randomness a caller depends on).
+void fill(RealVec& v) {
+  for (usize i = 0; i < v.size(); ++i)
+    v[i] = std::sin(0.37 * static_cast<real_t>(i) + 0.11);
+}
+
+void note_choice(const char* kernel, const char* variant, bool from_cache) {
+  telemetry::charge_counter(from_cache ? "autotune.cache_hits"
+                                       : "autotune.fresh_tunes");
+  const std::string name =
+      std::string("autotune.") + kernel + "." + variant;
+  telemetry::charge_counter(name.c_str());
+}
+
+}  // namespace
+
+field::TensorKernels tune_tensor_kernels(const field::Space& space,
+                                         device::Backend& backend) {
+  field::TensorKernels table;  // defaults to the reference kernels
+  if (tuning_disabled()) return table;
+
+  const int n = space.n, m = space.nd;
+  const usize npe = static_cast<usize>(space.nodes_per_element());
+  const usize npe_d = static_cast<usize>(space.dealias_nodes_per_element());
+  const usize batch = static_cast<usize>(kTuneElements);
+
+  RealVec in(batch * npe);
+  RealVec out(batch * (npe > npe_d ? npe : npe_d));
+  RealVec us(batch * npe), ut(batch * npe);
+  RealVec work(static_cast<usize>(m) * static_cast<usize>(n) *
+               static_cast<usize>(m + n));
+  fill(in);
+
+  device::TuneKey key;
+  key.n = n;
+  key.backend = backend.name();
+  key.threads = backend.concurrency();
+  device::TuneCache& cache = device::TuneCache::instance();
+
+  const auto tune_axis = [&](const char* kernel,
+                             const std::vector<field::AxisVariant>& variants,
+                             field::AxisFn* slot, const char** name_slot) {
+    std::vector<device::TuneCandidate> candidates;
+    candidates.reserve(variants.size());
+    for (const field::AxisVariant& v : variants) {
+      candidates.push_back({v.name, [&, fn = v.fn] {
+                              for (usize e = 0; e < batch; ++e)
+                                fn(space.d, in.data() + e * npe,
+                                   out.data() + e * npe, n, n);
+                            }});
+    }
+    key.kernel = kernel;
+    const device::TuneResult r = cache.tune(key, candidates, kTuneReps);
+    *slot = variants[r.best_index].fn;
+    *name_slot = variants[r.best_index].name;
+    note_choice(kernel, variants[r.best_index].name, r.from_cache);
+  };
+
+  tune_axis("axis0", field::axis0_variants(n), &table.axis0,
+            &table.axis0_name);
+  tune_axis("axis1", field::axis1_variants(n), &table.axis1,
+            &table.axis1_name);
+  tune_axis("axis2", field::axis2_variants(n), &table.axis2,
+            &table.axis2_name);
+
+  {
+    const std::vector<field::GradVariant> variants = field::grad_variants(n);
+    std::vector<device::TuneCandidate> candidates;
+    candidates.reserve(variants.size());
+    for (const field::GradVariant& v : variants) {
+      candidates.push_back({v.name, [&, fn = v.fn] {
+                              for (usize e = 0; e < batch; ++e)
+                                fn(space.d, in.data() + e * npe,
+                                   out.data() + e * npe, us.data() + e * npe,
+                                   ut.data() + e * npe, n);
+                            }});
+    }
+    key.kernel = "grad_ref";
+    const device::TuneResult r = cache.tune(key, candidates, kTuneReps);
+    table.grad = variants[r.best_index].fn;
+    table.grad_name = variants[r.best_index].name;
+    note_choice("grad_ref", variants[r.best_index].name, r.from_cache);
+  }
+
+  {
+    const std::vector<field::InterpVariant> variants =
+        field::interp_variants(n);
+    std::vector<device::TuneCandidate> candidates;
+    candidates.reserve(variants.size());
+    for (const field::InterpVariant& v : variants) {
+      candidates.push_back({v.name, [&, fn = v.fn] {
+                              for (usize e = 0; e < batch; ++e)
+                                fn(space.interp, in.data() + e * npe,
+                                   out.data() + e * npe_d, work.data(), n, m);
+                            }});
+    }
+    key.kernel = "interp3";
+    const device::TuneResult r = cache.tune(key, candidates, kTuneReps);
+    table.interp = variants[r.best_index].fn;
+    table.interp_name = variants[r.best_index].name;
+    note_choice("interp3", variants[r.best_index].name, r.from_cache);
+  }
+
+  FELIS_LOG_INFO("autotune: n=", n, " backend=", key.backend, "/",
+                 key.threads, " axis0=", table.axis0_name, " axis1=",
+                 table.axis1_name, " axis2=", table.axis2_name, " grad=",
+                 table.grad_name, " interp=", table.interp_name);
+  return table;
+}
+
+}  // namespace felis::operators

@@ -1,0 +1,29 @@
+/// \file tensor_dispatch.hpp
+/// \brief Autotuned selection of the tensor-product kernel variants one
+/// discretization dispatches through.
+///
+/// Called once per RankSetup construction: for each tensor kernel the
+/// candidate variants (field/tensor_simd.hpp) are timed on representative
+/// element data and the winner lands in the returned field::TensorKernels
+/// table, which operators::Context hands to every hot-path caller. Winners
+/// are cached process-wide per (kernel, n, backend, threads) key — and
+/// across processes via FELIS_TUNE_CACHE — so repeated setups (campaign
+/// workers, tests) tune exactly once. Setting FELIS_TUNE=off skips tuning
+/// and returns the reference table; every variant is bitwise identical to
+/// the reference, so the switch (and any tuning outcome) never changes
+/// results.
+#pragma once
+
+#include "device/backend.hpp"
+#include "field/space.hpp"
+#include "field/tensor_simd.hpp"
+
+namespace felis::operators {
+
+/// Select the fastest bitwise-identical variant of each tensor kernel for
+/// `space`'s polynomial order on `backend`. Emits the chosen variants
+/// through telemetry (`autotune.*` metrics) and the debug log.
+field::TensorKernels tune_tensor_kernels(const field::Space& space,
+                                         device::Backend& backend);
+
+}  // namespace felis::operators

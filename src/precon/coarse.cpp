@@ -59,6 +59,7 @@ void CoarseSolver::restrict_residual(const RealVec& r_fine,
                                      RealVec& r_coarse) const {
   const int n = fine_.space->n;
   const lidx_t npe_f = fine_.space->nodes_per_element();
+  const field::TensorKernels& kern = fine_.kern();
   const RealVec& w = fine_.gs->inverse_multiplicity();
   r_coarse.assign(coarse_.num_dofs(), 0.0);
   fine_.dev().parallel_for_blocked(
@@ -74,9 +75,9 @@ void CoarseSolver::restrict_residual(const RealVec& r_fine,
             rw[static_cast<usize>(q)] = r_fine[base_f + static_cast<usize>(q)] *
                                         w[base_f + static_cast<usize>(q)];
           // Jᵀ along each axis: n×n×n → 2×n×n → 2×2×n → 2×2×2.
-          field::apply_axis0(jt_, rw.data(), t1.data(), n, n);
-          field::apply_axis1(jt_, t1.data(), t2.data(), 2, n);
-          field::apply_axis2(jt_, t2.data(), r_coarse.data() + base_c, 2, 2);
+          kern.axis0(jt_, rw.data(), t1.data(), n, n);
+          kern.axis1(jt_, t1.data(), t2.data(), 2, n);
+          kern.axis2(jt_, t2.data(), r_coarse.data() + base_c, 2, 2);
         }
       });
   coarse_.gs->apply(r_coarse, gs::GsOp::kAdd, coarse_.prof);
@@ -85,6 +86,7 @@ void CoarseSolver::restrict_residual(const RealVec& r_fine,
 void CoarseSolver::prolong(const RealVec& z_coarse, RealVec& z_fine) const {
   const int n = fine_.space->n;
   const lidx_t npe_f = fine_.space->nodes_per_element();
+  const field::TensorKernels& kern = fine_.kern();
   z_fine.resize(fine_.num_dofs());
   fine_.dev().parallel_for_blocked(
       fine_.num_elements(), /*grain=*/0, [&](lidx_t e0, lidx_t e1, int /*worker*/) {
@@ -96,9 +98,9 @@ void CoarseSolver::prolong(const RealVec& z_coarse, RealVec& z_fine) const {
           const usize base_f = static_cast<usize>(e) * static_cast<usize>(npe_f);
           const usize base_c = static_cast<usize>(e) * 8;
           // J along each axis: 2×2×2 → n×2×2 → n×n×2 → n×n×n.
-          field::apply_axis0(j_, z_coarse.data() + base_c, t1.data(), 2, 2);
-          field::apply_axis1(j_, t1.data(), t2.data(), n, 2);
-          field::apply_axis2(j_, t2.data(), z_fine.data() + base_f, n, n);
+          kern.axis0(j_, z_coarse.data() + base_c, t1.data(), 2, 2);
+          kern.axis1(j_, t1.data(), t2.data(), n, 2);
+          kern.axis2(j_, t2.data(), z_fine.data() + base_f, n, n);
         }
       });
 }

@@ -131,6 +131,7 @@ void FdmSolver::apply(const RealVec& r, RealVec& z) const {
   const field::Space& sp = *ctx_.space;
   const int n = sp.n;
   const lidx_t npe = sp.nodes_per_element();
+  const field::TensorKernels& kern = ctx_.kern();
   FELIS_CHECK(r.size() == ctx_.num_dofs());
   z.resize(r.size());
 
@@ -151,9 +152,9 @@ void FdmSolver::apply(const RealVec& r, RealVec& z) const {
     const RealVec& ls = lambda_[static_cast<usize>(3 * e + 1)];
     const RealVec& lt = lambda_[static_cast<usize>(3 * e + 2)];
     // Forward transform Sᵀ r.
-    field::apply_axis0(str, r.data() + base, t1.data(), n, n);
-    field::apply_axis1(sts, t1.data(), t2.data(), n, n);
-    field::apply_axis2(stt, t2.data(), t1.data(), n, n);
+    kern.axis0(str, r.data() + base, t1.data(), n, n);
+    kern.axis1(sts, t1.data(), t2.data(), n, n);
+    kern.axis2(stt, t2.data(), t1.data(), n, n);
     // Diagonal solve with zero-mode guard (pure-Neumann elements).
     for (int k = 0; k < n; ++k)
       for (int j = 0; j < n; ++j)
@@ -164,9 +165,9 @@ void FdmSolver::apply(const RealVec& r, RealVec& z) const {
           v = (std::abs(lam) > 1e-10) ? v / lam : 0.0;
         }
     // Backward transform S.
-    field::apply_axis0(sr, t1.data(), t2.data(), n, n);
-    field::apply_axis1(ss, t2.data(), t1.data(), n, n);
-    field::apply_axis2(st, t1.data(), z.data() + base, n, n);
+    kern.axis0(sr, t1.data(), t2.data(), n, n);
+    kern.axis1(ss, t2.data(), t1.data(), n, n);
+    kern.axis2(st, t1.data(), z.data() + base, n, n);
   }
   });
   if (ctx_.prof)

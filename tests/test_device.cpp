@@ -11,6 +11,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/error.hpp"
 #include "common/params.hpp"
 #include "device/autotune.hpp"
 #include "device/backend.hpp"

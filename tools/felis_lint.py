@@ -62,6 +62,14 @@ Rules
                       oversubscribe the host invisibly. Exempt: the sanctioned
                       concurrency owners (src/device/, src/comm/, src/insitu/,
                       src/sched/).
+  raw-tensor-call     Library code outside src/field/ must not call the
+                      tensor-product kernels (apply_axis0/1/2, grad_ref,
+                      interp3) directly: direct calls pin the scalar reference
+                      and silently bypass the autotuned variant selection.
+                      Dispatch through the operators::Context kernel table
+                      (ctx.kern().axis0(...) etc.) or a field::TensorKernels
+                      member. tests/ and bench/ are exempt by design: they
+                      exercise and time the raw variants.
 
 Usage
 -----
@@ -114,6 +122,7 @@ CLOCK_EXEMPT = {
     os.path.join("src", "device", "stream.hpp"),
     os.path.join("src", "device", "stream.cpp"),
     os.path.join("src", "device", "autotune.hpp"),
+    os.path.join("src", "device", "autotune.cpp"),
 }
 CLOCK_EXEMPT_DIRS = (os.path.join("src", "telemetry"),)
 # Sanctioned thread owners: the device backends (worker pools), the
@@ -129,6 +138,10 @@ THREAD_EXEMPT_DIRS = (
 # deliberately excluded — they white-box the plugins.
 CASE_PLUGIN_DIRS = ("src", "examples")
 CASE_PLUGIN_EXEMPT_PREFIX = "src/case/"
+# The tensor kernels' home: the only library directory allowed to call
+# apply_axis* / grad_ref / interp3 directly (definitions, variants, and the
+# TensorKernels defaults live there).
+TENSOR_CALL_EXEMPT_PREFIX = "src/field/"
 
 RAW_ABORT_RE = re.compile(r"(?<![\w.])(assert|abort|exit)\s*\(")
 STDOUT_RE = re.compile(r"std::cout|std::cerr|(?<![\w.])(printf|fprintf|puts)\s*\(")
@@ -163,6 +176,12 @@ RAW_RENAME_FSYNC_RE = re.compile(
     r"\b(?:std|fs)\s*::\s*rename\s*\(|"
     r"(?<![\w.:])(?:rename|fsync)\s*\(|"
     r"(?<![\w.])::\s*(?:rename|fsync)\s*\(")
+# A direct tensor-kernel call: the kernel name immediately followed by an
+# argument list. Variant names (apply_axis0_simd, grad_ref_fixed<...>) do not
+# match — the suffix breaks the word boundary before `(` — and neither do
+# table dispatches (kern.axis0(...)) or address-of uses (&apply_axis0).
+RAW_TENSOR_CALL_RE = re.compile(
+    r"(?<!&)\b(?:field\s*::\s*)?(apply_axis[012]|grad_ref|interp3)\s*\(")
 
 TRACKED_ARTIFACT_RES = [
     re.compile(r"(^|/)build[^/]*/"),
@@ -501,6 +520,25 @@ def check_case_registry(root):
     return out
 
 
+def check_raw_tensor_call(root):
+    out = []
+    for path in iter_files(root, (LIBRARY_DIR,), {".hpp", ".cpp"}):
+        relpath = rel(root, path)
+        if relpath.startswith(TENSOR_CALL_EXEMPT_PREFIX):
+            continue
+        code = strip_comments_and_strings(open(path, encoding="utf-8").read())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = RAW_TENSOR_CALL_RE.search(line)
+            if m:
+                out.append(Violation(
+                    relpath, lineno, "raw-tensor-call",
+                    f"direct {m.group(1)}() call outside src/field/ bypasses "
+                    "the autotuned kernel selection; dispatch through "
+                    "ctx.kern() (operators::Context) or a "
+                    "field::TensorKernels table"))
+    return out
+
+
 ALL_CHECKS = [
     check_raw_abort,
     check_stray_stdout,
@@ -513,6 +551,7 @@ ALL_CHECKS = [
     check_raw_clock,
     check_raw_thread,
     check_case_registry,
+    check_raw_tensor_call,
 ]
 
 
@@ -643,6 +682,20 @@ SEEDED = {
         None,
         "/// \\file registry.hpp\n#pragma once\n"
         "namespace felis::cases { class Registry; }\n"),
+    "src/precon/raw_tensor.cpp": (
+        "raw-tensor-call",
+        "void f(const double* u, double* o, int n) {\n"
+        "  field::apply_axis0(op, u, o, n, n);\n}\n"),
+    "src/operators/table_dispatch.cpp": (
+        None,  # table dispatch and variant names are the sanctioned forms
+        "void g(const double* u, double* o, int n) {\n"
+        "  kern.axis0(op, u, o, n, n);\n"
+        "  field::apply_axis0_simd(op, u, o, n, n);\n"
+        "  auto* fn = &field::apply_axis0;\n  (void)fn;\n}\n"),
+    "src/field/tensor_site.cpp": (
+        None,  # src/field/ owns the kernels and may call them raw
+        "void h(const double* u, double* o, int n) {\n"
+        "  apply_axis0(op, u, o, n, n);\n  grad_ref(op, u, o, o, o, n);\n}\n"),
 }
 
 

@@ -9,6 +9,17 @@
 //     --bench-json PATH    also write a BENCH_campaign.json throughput record
 //     --list-cases         print the registered case types and exit
 //
+// Observer modes (work on a running, finished, or crashed campaign dir —
+// they only read the crash-safe journals, skipping torn tails):
+//   ./felis_campaign --status DIR [--watch] [--interval S] [--json]
+//     print the fleet table (per-case state/step/progress/Nu, throughput,
+//     ETA, stragglers) and write DIR/status.json + DIR/status.prom;
+//     --watch repolls every S seconds (default 2) until every case is
+//     terminal; --json prints the status document instead of the table
+//   ./felis_campaign --export-trace DIR
+//     write DIR/campaign.trace.json, a merged Chrome trace with every case
+//     on its own track (validate: tools/felis_trace.py --check)
+//
 // The campaign file is an ordinary key = value ParamMap with sweep.* axes;
 // `case.type` (sweepable: `sweep.type = rbc,rbc2d,ihc`) selects each case's
 // scenario from the case registry:
@@ -20,23 +31,120 @@
 // Re-running the same command resumes from <campaign.dir>/manifest.ndjson:
 // completed cases are skipped, interrupted ones restart from their newest
 // valid checkpoint. Exit code: 0 all done, 1 failures, 2 drained (SIGINT).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "case/registry.hpp"
 #include "common/error.hpp"
+#include "io/atomic_file.hpp"
+#include "obs/campaign_monitor.hpp"
+#include "obs/exporters.hpp"
 #include "sched/case_runner.hpp"
 #include "sched/scheduler.hpp"
 
 using namespace felis;
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: felis_campaign <campaign.txt> [--dry-run] [--steps N] "
+    "[--dir PATH] [--bench-json PATH]\n"
+    "       felis_campaign --list-cases\n"
+    "       felis_campaign --status DIR [--watch] [--interval S] [--json]\n"
+    "       felis_campaign --export-trace DIR\n";
+
+void print_fleet_table(const obs::CampaignSnapshot& snap) {
+  std::printf("campaign '%s': %d worker(s), thread budget %d, %d resume(s), "
+              "clock %.3f s\n",
+              snap.campaign.c_str(), snap.workers, snap.thread_budget,
+              snap.resumes, snap.clock_seconds);
+  std::printf("%-40s %8s %8s %8s %9s %10s  %s\n", "case", "state", "attempts",
+              "step", "progress", "Nu", "flags");
+  for (const obs::CaseView& v : snap.cases) {
+    std::string flags;
+    if (v.straggler) flags += " straggler";
+    double anomalies = 0;
+    for (const auto& [name, n] : v.health_flags) anomalies += n;
+    if (anomalies > 0)
+      flags += " anomalies=" + std::to_string(static_cast<long>(anomalies));
+    std::printf("%-40s %8s %8d %8lld %8.0f%% %10.4f %s\n", v.id.c_str(),
+                v.state.empty() ? "declared" : v.state.c_str(), v.attempts,
+                static_cast<long long>(v.step), 100.0 * v.progress, v.nusselt,
+                flags.c_str());
+  }
+  std::printf("%d done, %d running, %d queued, %d failed | %.0f%% of modelled "
+              "cost retired",
+              snap.done, snap.running, snap.queued, snap.failed,
+              100.0 * snap.completed_fraction);
+  if (snap.eta_seconds >= 0)
+    std::printf(" | eta %.1f s", snap.eta_seconds);
+  std::printf(" | anomalies %.0f\n", snap.anomalies);
+}
+
+/// --status / --export-trace: fold the campaign dir's journals and export.
+int run_observer(const std::string& dir, bool watch, double interval,
+                 bool json_out, bool export_trace) {
+  obs::CampaignMonitor monitor(dir);
+  while (true) {
+    try {
+      monitor.poll();
+    } catch (const sched::ManifestReplayError& e) {
+      std::fprintf(stderr, "corrupt campaign manifest in '%s': %s\n",
+                   dir.c_str(), e.what());
+      return 65;
+    }
+    const obs::CampaignSnapshot snap = monitor.snapshot();
+    if (!snap.manifest_found) {
+      std::fprintf(stderr,
+                   "no campaign manifest in '%s' (expected %s/manifest.ndjson)\n",
+                   dir.c_str(), dir.c_str());
+      return 66;
+    }
+
+    if (export_trace) {
+      const std::string path = dir + "/campaign.trace.json";
+      io::AtomicFileWriter writer(path);
+      writer.stream() << obs::campaign_trace_json(monitor);
+      writer.commit();
+      std::printf("merged trace: %s\n", path.c_str());
+      return 0;
+    }
+
+    if (json_out) {
+      std::fputs(obs::status_json(snap).c_str(), stdout);
+    } else {
+      print_fleet_table(snap);
+    }
+    const obs::StatusPaths paths = obs::write_status_files(monitor, dir);
+    if (!json_out)
+      std::printf("status: %s, %s\n", paths.json.c_str(), paths.prom.c_str());
+
+    bool all_terminal = !snap.cases.empty();
+    for (const obs::CaseView& v : snap.cases)
+      if (!v.terminal()) all_terminal = false;
+    if (!watch || all_terminal) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long>(interval * 1000)));
+    if (!json_out) std::printf("\n");
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string campaign_file;
   std::string bench_json;
   std::string dir_override;
+  std::string status_dir;
+  std::string trace_dir;
   bool dry_run = false;
+  bool watch = false;
+  bool json_out = false;
+  double interval = 2.0;
   long steps_override = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list-cases") == 0) {
@@ -53,17 +161,35 @@ int main(int argc, char** argv) {
       dir_override = argv[++i];
     } else if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
       bench_json = argv[++i];
-    } else if (campaign_file.empty()) {
+    } else if (std::strcmp(argv[i], "--status") == 0 && i + 1 < argc) {
+      status_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--export-trace") == 0 && i + 1 < argc) {
+      trace_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      watch = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_out = true;
+    } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      interval = std::atof(argv[++i]);
+    } else if (campaign_file.empty() && argv[i][0] != '-') {
       campaign_file = argv[i];
     } else {
-      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      std::fprintf(stderr,
+                   "unknown argument '%s' (valid: <campaign.txt>, --dry-run, "
+                   "--steps, --dir, --bench-json, --list-cases, --status, "
+                   "--watch, --interval, --json, --export-trace)\n",
+                   argv[i]);
       return 64;
     }
   }
+
+  if (!status_dir.empty() || !trace_dir.empty())
+    return run_observer(trace_dir.empty() ? status_dir : trace_dir, watch,
+                        interval > 0 ? interval : 2.0, json_out,
+                        !trace_dir.empty());
+
   if (campaign_file.empty()) {
-    std::fprintf(stderr,
-                 "usage: felis_campaign <campaign.txt> [--dry-run] [--steps N] "
-                 "[--dir PATH] [--bench-json PATH] [--list-cases]\n");
+    std::fputs(kUsage, stderr);
     return 64;
   }
 

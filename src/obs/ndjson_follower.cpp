@@ -1,0 +1,58 @@
+#include "obs/ndjson_follower.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+namespace felis::obs {
+
+NdjsonFollower::NdjsonFollower(std::string path) : path_(std::move(path)) {}
+
+bool NdjsonFollower::exists() const {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path_, ec);
+}
+
+usize NdjsonFollower::poll(std::vector<std::string>* lines) {
+  std::error_code ec;
+  const std::uintmax_t raw_size = std::filesystem::file_size(path_, ec);
+  if (ec) return 0;  // missing (or racing a replace): try again next poll
+  const auto size = static_cast<std::uint64_t>(raw_size);
+
+  if (size < offset_) {
+    // The journal shrank below what we consumed: truncated or replaced
+    // (per-attempt telemetry streams restart from scratch). Re-deliver the
+    // new content from byte 0; the caller drops its stale fold via
+    // truncations().
+    offset_ = 0;
+    ++truncations_;
+  }
+  if (size == offset_) return 0;
+
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.good()) return 0;
+  in.seekg(static_cast<std::streamoff>(offset_));
+  std::string chunk(static_cast<usize>(size - offset_), '\0');
+  in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+  chunk.resize(static_cast<usize>(in.gcount()));
+  if (chunk.empty()) return 0;
+
+  // Only newline-terminated lines are complete; an unterminated tail (torn
+  // by a kill or racing mid-append) stays unconsumed for the next poll.
+  const auto last_newline = chunk.rfind('\n');
+  if (last_newline == std::string::npos) return 0;
+
+  usize appended = 0;
+  usize begin = 0;
+  while (begin <= last_newline) {
+    const usize end = chunk.find('\n', begin);
+    if (lines) lines->push_back(chunk.substr(begin, end - begin));
+    ++appended;
+    begin = end + 1;
+  }
+  offset_ += last_newline + 1;
+  return appended;
+}
+
+}  // namespace felis::obs

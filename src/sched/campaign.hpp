@@ -29,6 +29,7 @@ struct CampaignConfig {
   int max_retries = 2;           ///< extra attempts per case after a failure
   int retry_backoff_ms = 50;     ///< first backoff; doubles per retry
   double watchdog_seconds = 0;   ///< cancel a run with no heartbeat (0 = off)
+  bool monitor = false;          ///< journal sched.* metrics to sched.ndjson
 };
 
 struct CampaignSpec {
@@ -44,6 +45,9 @@ struct CampaignSpec {
 
   std::string manifest_path() const;
   std::string summary_csv_path() const;
+  /// Scheduler-side observability journal (campaign.monitor = true): one
+  /// `sched` record per queue transition, consumed by obs::CampaignMonitor.
+  std::string sched_stream_path() const;
 };
 
 /// Perfmodel cost estimate for one case: per-step workload from the case's

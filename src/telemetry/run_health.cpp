@@ -13,7 +13,14 @@ RunHealth::RunHealth(HealthConfig config, MetricsRegistry* metrics)
 
 void RunHealth::count(const char* metric_name) {
   ++anomalies_;
-  if (metrics_) metrics_->add(metric_name, 1);
+  if (metrics_) {
+    // Per-class counter plus the aggregate: each detection increments its
+    // health.flags.<class> exactly once, so downstream consumers (step
+    // records, the campaign monitor) get a machine-readable anomaly
+    // breakdown without parsing log lines.
+    metrics_->add(metric_name, 1);
+    metrics_->add("health.anomalies", 1);
+  }
 }
 
 void RunHealth::on_step(const StepSample& sample) {
@@ -35,7 +42,7 @@ void RunHealth::detect_anomalies(const StepSample& sample) {
     const double threshold = std::max(config_.spike_factor * mean,
                                       mean + config_.spike_margin);
     if (sample.pressure_iterations > threshold) {
-      count("health.iteration_spikes");
+      count("health.flags.iteration_spike");
       FELIS_LOG_WARN("health: pressure iteration spike at step ", sample.step,
                      ": ", sample.pressure_iterations, " iterations vs ",
                      std::llround(mean), " trailing mean");
@@ -47,7 +54,7 @@ void RunHealth::detect_anomalies(const StepSample& sample) {
   if (prev_residual_ > 0 && sample.pressure_residual >= prev_residual_) {
     ++stagnant_steps_;
     if (stagnant_steps_ == config_.stagnation_run) {
-      count("health.residual_stagnation");
+      count("health.flags.residual_stagnation");
       FELIS_LOG_WARN("health: pressure residual stagnant for ",
                      stagnant_steps_, " steps at step ", sample.step,
                      " (residual ", sample.pressure_residual, ")");
@@ -59,7 +66,7 @@ void RunHealth::detect_anomalies(const StepSample& sample) {
 }
 
 void RunHealth::flag_checkpoint_retries(int retries, const std::string& path) {
-  count("health.checkpoint_retries");
+  count("health.flags.checkpoint_retry");
   FELIS_LOG_ERROR("health: checkpoint write to ", path, " needed ", retries,
                   " retr", retries == 1 ? "y" : "ies",
                   " — I/O is degrading; the rotation's durability margin is "

@@ -12,8 +12,11 @@
 ///  * flags anomalies — iteration-count spikes and residual stagnation at
 ///    warn level, checkpoint write retries at error level (the run is one
 ///    failed retry away from losing its newest state) — and counts each
-///    class into `health.*` metrics so the NDJSON stream records exactly
-///    when a run went sideways.
+///    class into a `health.flags.<class>` counter (iteration_spike,
+///    residual_stagnation, checkpoint_retry) plus the `health.anomalies`
+///    aggregate, exactly once per detection, so the NDJSON stream records
+///    when and how a run went sideways in machine-readable form (the
+///    campaign monitor rolls these up fleet-wide).
 #pragma once
 
 #include <cstdint>

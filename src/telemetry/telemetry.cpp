@@ -80,7 +80,10 @@ Telemetry::Telemetry(TelemetryConfig config,
     metrics_.gauge(g);
   }
   for (const char* c : {"checkpoint.writes", "checkpoint.retries",
-                        "checkpoint.bytes"}) {
+                        "checkpoint.bytes", "health.anomalies",
+                        "health.flags.iteration_spike",
+                        "health.flags.residual_stagnation",
+                        "health.flags.checkpoint_retry"}) {
     metrics_.counter(c);
   }
   metrics_.histogram("checkpoint.write_seconds");

@@ -16,6 +16,7 @@
 
 #include "fluid/checkpoint.hpp"
 #include "io/atomic_file.hpp"
+#include "obs/campaign_monitor.hpp"
 #include "sched/case_runner.hpp"
 #include "sched/manifest.hpp"
 #include "sched/scheduler.hpp"
@@ -481,6 +482,13 @@ TEST_F(ManifestTest, KilledCampaignAutoRecoversBitwise) {
     f.put(byte);
   }
 
+  // A monitor attached between the kill and the resume sees the session-1
+  // journal; keeping it polling across session 2 must land on the same fold
+  // as a fresh whole-file read (the incremental-tail equivalence contract).
+  obs::CampaignMonitor monitor(dir);
+  monitor.poll();
+  EXPECT_EQ(monitor.manifest_state().cases.at(victim).state, "failed");
+
   // Session 2: fresh scheduler over the same manifest. Completed cases are
   // skipped; the failed case re-queues, restores from the newest *valid*
   // checkpoint and catches up.
@@ -506,6 +514,31 @@ TEST_F(ManifestTest, KilledCampaignAutoRecoversBitwise) {
           << id << " T dof " << i;
     }
   }
+
+  // Monitor-vs-manifest equivalence after the killed-and-resumed campaign:
+  // the monitor's incremental fold (production transition logic fed by the
+  // follower) is bitwise-equal to a fresh read_manifest fold, and the
+  // snapshot's per-case states/attempts/metrics reproduce it exactly.
+  monitor.poll();
+  const ManifestState fresh = read_manifest(dir + "/manifest.ndjson");
+  const ManifestState& folded = monitor.manifest_state();
+  ASSERT_TRUE(folded.found);
+  ASSERT_EQ(folded.cases.size(), fresh.cases.size());
+  const obs::CampaignSnapshot snap = monitor.snapshot();
+  for (const auto& [id, ref_case] : fresh.cases) {
+    const auto it = folded.cases.find(id);
+    ASSERT_NE(it, folded.cases.end()) << id;
+    EXPECT_EQ(it->second.state, ref_case.state) << id;
+    EXPECT_EQ(it->second.attempts, ref_case.attempts) << id;
+    EXPECT_EQ(it->second.metrics, ref_case.metrics) << id;
+    const obs::CaseView* view = snap.find(id);
+    ASSERT_NE(view, nullptr) << id;
+    EXPECT_EQ(view->state, ref_case.state) << id;
+    EXPECT_EQ(view->attempts, ref_case.attempts) << id;
+    EXPECT_EQ(view->metrics, ref_case.metrics) << id;
+  }
+  EXPECT_TRUE(snap.complete());
+  EXPECT_EQ(snap.resumes, 1);
 }
 
 TEST_F(ManifestTest, EnvFaultInjectionCrashRetriesAndRecovers) {

@@ -138,9 +138,15 @@ TEST(RunHealth, FlagsIterationSpikes) {
   // the +8 margin.
   health.on_step(health_sample(6, 40, 1e-8));
   EXPECT_EQ(health.anomaly_count(), 1);
-  const telemetry::Metric* m = metrics.find("health.iteration_spikes");
+  const telemetry::Metric* m = metrics.find("health.flags.iteration_spike");
   ASSERT_NE(m, nullptr);
   EXPECT_DOUBLE_EQ(m->value(), 1.0);
+  // Exactly once per detection: a second spike is a second increment.
+  health.on_step(health_sample(7, 60, 1e-8));
+  EXPECT_DOUBLE_EQ(m->value(), 2.0);
+  const telemetry::Metric* agg = metrics.find("health.anomalies");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_DOUBLE_EQ(agg->value(), 2.0);
 }
 
 TEST(RunHealth, FlagsResidualStagnation) {
@@ -153,11 +159,16 @@ TEST(RunHealth, FlagsResidualStagnation) {
   for (std::int64_t s = 1; s <= 4; ++s)
     health.on_step(health_sample(s, 5, 1e-6));
   EXPECT_EQ(health.anomaly_count(), 1);
-  const telemetry::Metric* m = metrics.find("health.residual_stagnation");
+  const telemetry::Metric* m = metrics.find("health.flags.residual_stagnation");
   ASSERT_NE(m, nullptr);
   EXPECT_DOUBLE_EQ(m->value(), 1.0);
+  // Continued stagnation within the same run does not re-flag: the counter
+  // records detections, not stagnant steps.
+  health.on_step(health_sample(5, 5, 1e-6));
+  EXPECT_EQ(health.anomaly_count(), 1);
+  EXPECT_DOUBLE_EQ(m->value(), 1.0);
   // An improving step resets the run; no immediate second flag.
-  health.on_step(health_sample(5, 5, 1e-9));
+  health.on_step(health_sample(6, 5, 1e-9));
   EXPECT_EQ(health.anomaly_count(), 1);
 }
 
@@ -179,9 +190,13 @@ TEST(RunHealth, CheckpointRetriesCountAsAnomalies) {
   telemetry::RunHealth health(config, &metrics);
   health.flag_checkpoint_retries(2, "ckpt/step42.felis");
   EXPECT_EQ(health.anomaly_count(), 1);
-  const telemetry::Metric* m = metrics.find("health.checkpoint_retries");
+  const telemetry::Metric* m = metrics.find("health.flags.checkpoint_retry");
   ASSERT_NE(m, nullptr);
   EXPECT_DOUBLE_EQ(m->value(), 1.0);
+  // One detection per degraded write, however many retries it burned.
+  health.flag_checkpoint_retries(3, "ckpt/step43.felis");
+  EXPECT_DOUBLE_EQ(m->value(), 2.0);
+  EXPECT_EQ(health.anomaly_count(), 2);
 }
 
 // ---- disabled-path contract -------------------------------------------------
@@ -327,7 +342,9 @@ TEST_F(TelemetryRbc, ThreeStepRunStreamsOneRecordPerStep) {
          {"solver.cfl", "solver.pressure_iterations",
           "solver.velocity_iterations", "solver.pressure_residual",
           "case.nu_volume", "checkpoint.writes", "checkpoint.retries",
-          "gs.applies", "telemetry.step_seconds"}) {
+          "gs.applies", "telemetry.step_seconds", "health.anomalies",
+          "health.flags.iteration_spike", "health.flags.residual_stagnation",
+          "health.flags.checkpoint_retry"}) {
       EXPECT_NE(line.find('"' + std::string(name) + '"'), std::string::npos)
           << "step " << s << " record lacks " << name;
     }

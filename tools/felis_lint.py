@@ -62,6 +62,14 @@ Rules
                       oversubscribe the host invisibly. Exempt: the sanctioned
                       concurrency owners (src/device/, src/comm/, src/insitu/,
                       src/sched/).
+  raw-ndjson-read     Library code must not parse manifest/telemetry NDJSON
+                      by hand: calls to sched::apply_manifest_line or the
+                      sched::extract_json_* scanners are confined to the
+                      protocol owner (src/sched/manifest.*), the campaign
+                      monitor (src/obs/) and the model checker (src/verify/,
+                      which drives the production fold by design). Ad-hoc
+                      folds elsewhere drift from the torn-tail and
+                      duplicate-terminal semantics the checker verifies.
   raw-tensor-call     Library code outside src/field/ must not call the
                       tensor-product kernels (apply_axis0/1/2, grad_ref,
                       interp3) directly: direct calls pin the scalar reference
@@ -138,6 +146,14 @@ THREAD_EXEMPT_DIRS = (
 # deliberately excluded — they white-box the plugins.
 CASE_PLUGIN_DIRS = ("src", "examples")
 CASE_PLUGIN_EXEMPT_PREFIX = "src/case/"
+# NDJSON protocol readers: the manifest owner defines the fold, the campaign
+# monitor consumes it, and the model checker exercises it by design. Everyone
+# else gets read_manifest() / obs::CampaignMonitor.
+NDJSON_READ_EXEMPT_PREFIXES = ("src/obs/", "src/verify/")
+NDJSON_READ_EXEMPT = {
+    os.path.join("src", "sched", "manifest.hpp"),
+    os.path.join("src", "sched", "manifest.cpp"),
+}
 # The tensor kernels' home: the only library directory allowed to call
 # apply_axis* / grad_ref / interp3 directly (definitions, variants, and the
 # TensorKernels defaults live there).
@@ -176,6 +192,12 @@ RAW_RENAME_FSYNC_RE = re.compile(
     r"\b(?:std|fs)\s*::\s*rename\s*\(|"
     r"(?<![\w.:])(?:rename|fsync)\s*\(|"
     r"(?<![\w.])::\s*(?:rename|fsync)\s*\(")
+# A raw NDJSON-protocol read: the fold entry point or a positional scanner,
+# qualified or not. read_manifest() (the sanctioned whole-file fold) does not
+# match.
+RAW_NDJSON_READ_RE = re.compile(
+    r"\b(?:sched\s*::\s*)?(apply_manifest_line|extract_json_string|"
+    r"extract_json_number|extract_json_metrics)\s*\(")
 # A direct tensor-kernel call: the kernel name immediately followed by an
 # argument list. Variant names (apply_axis0_simd, grad_ref_fixed<...>) do not
 # match — the suffix breaks the word boundary before `(` — and neither do
@@ -520,6 +542,25 @@ def check_case_registry(root):
     return out
 
 
+def check_raw_ndjson_read(root):
+    out = []
+    exempt = {p.replace(os.sep, "/") for p in NDJSON_READ_EXEMPT}
+    for path in iter_files(root, (LIBRARY_DIR,), {".hpp", ".cpp"}):
+        relpath = rel(root, path)
+        if relpath in exempt or relpath.startswith(NDJSON_READ_EXEMPT_PREFIXES):
+            continue
+        code = strip_comments_and_strings(open(path, encoding="utf-8").read())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = RAW_NDJSON_READ_RE.search(line)
+            if m:
+                out.append(Violation(
+                    relpath, lineno, "raw-ndjson-read",
+                    f"raw NDJSON protocol read ({m.group(1)}) outside the "
+                    "sanctioned fold sites; use sched::read_manifest or "
+                    "obs::CampaignMonitor"))
+    return out
+
+
 def check_raw_tensor_call(root):
     out = []
     for path in iter_files(root, (LIBRARY_DIR,), {".hpp", ".cpp"}):
@@ -551,6 +592,7 @@ ALL_CHECKS = [
     check_raw_clock,
     check_raw_thread,
     check_case_registry,
+    check_raw_ndjson_read,
     check_raw_tensor_call,
 ]
 
@@ -682,6 +724,25 @@ SEEDED = {
         None,
         "/// \\file registry.hpp\n#pragma once\n"
         "namespace felis::cases { class Registry; }\n"),
+    "src/bad/raw_ndjson.cpp": (
+        "raw-ndjson-read",
+        "#include <string>\nvoid f(const std::string& line) {\n"
+        "  bool ok = false;\n"
+        "  auto s = sched::extract_json_string(line, \"state\", &ok);\n"
+        "  (void)s;\n}\n"),
+    "src/obs/monitor_site.cpp": (
+        None,  # the campaign monitor is a sanctioned fold site
+        "#include <string>\nvoid g(const std::string& line) {\n"
+        "  sched::apply_manifest_line(state, line);\n"
+        "  auto t = sched::extract_json_number(line, \"t\");\n  (void)t;\n}\n"),
+    "src/sched/manifest.cpp": (
+        None,  # the protocol owner defines and uses the scanners
+        "#include <string>\nvoid h(const std::string& line) {\n"
+        "  auto m = extract_json_metrics(line);\n  (void)m;\n}\n"),
+    "src/good/manifest_consumer.cpp": (
+        None,  # whole-file folds go through read_manifest
+        "#include <string>\nvoid r(const std::string& path) {\n"
+        "  auto state = sched::read_manifest(path);\n  (void)state;\n}\n"),
     "src/precon/raw_tensor.cpp": (
         "raw-tensor-call",
         "void f(const double* u, double* o, int n) {\n"

@@ -12,8 +12,11 @@ A felis run with `telemetry.enabled = true` produces
   <dir>/<basename>.summary.csv  final metric summary (kind/value/count/...).
 
 The NDJSON stream uses crash-safe appends: every fsync'd prefix is a valid
-record stream, and a crash can leave at most one torn final line — which this
-tool tolerates (with a note) rather than rejects.
+record stream, and a crash can leave at most one torn final line. Like the
+in-tree follower (src/obs/ndjson_follower.*), this tool treats a line as
+complete only once its trailing newline is on disk: an unterminated final
+line is skipped (with a note) even when it happens to parse as JSON. A
+missing stream file is a named error, never a traceback.
 
 A campaign run (felis_campaign / sched::Scheduler) produces
   <campaign.dir>/manifest.ndjson   the crash-safe run journal: a `header`
@@ -21,12 +24,23 @@ A campaign run (felis_campaign / sched::Scheduler) produces
                                    sweep case, then `run` state transitions
                                    (queued -> running -> done/failed/retried)
                                    and `resume` markers appended by later
-                                   sessions.
+                                   sessions. A resume session heals a torn
+                                   tail by terminating it, so the journal may
+                                   contain newline-terminated malformed lines
+                                   mid-stream; the manifest reader skips and
+                                   counts them, exactly like the C++ fold.
+  <campaign.dir>/campaign.trace.json  (felis_campaign --export-trace) the
+                                   merged fleet trace: each case on its own
+                                   track plus the scheduler's queue timeline
+                                   (otherData carries "merged":"campaign").
 
 Usage
 -----
   felis_trace.py --check <run.ndjson> [<run.trace.json>]
-      Validate the artifacts (exit 1 on any structural problem).
+  felis_trace.py --check <campaign.trace.json>
+      Validate the artifacts (exit 1 on any structural problem). A lone
+      *.trace.json argument checks just the trace; a merged campaign trace
+      is validated against the campaign contract (sched + step categories).
   felis_trace.py --summary <run.ndjson>
       Print a human-readable run summary from the metrics stream.
   felis_trace.py --campaign <manifest.ndjson>
@@ -50,34 +64,58 @@ REQUIRED_METRICS = (
     "case.nu_volume",
     "checkpoint.writes",
     "checkpoint.retries",
+    "health.anomalies",
+    "health.flags.iteration_spike",
+    "health.flags.residual_stagnation",
+    "health.flags.checkpoint_retry",
 )
 
 REQUIRED_METADATA = ("backend", "threads", "degree")
+
+# A merged campaign trace (felis_campaign --export-trace) has a different
+# contract: scheduler + per-case step events, campaign metadata.
+CAMPAIGN_TRACE_CATS = ("sched", "step")
+CAMPAIGN_TRACE_METADATA = ("campaign", "cases", "workers")
 
 
 class CheckError(Exception):
     pass
 
 
+def read_journal_lines(path):
+    """Read a crash-safe NDJSON journal the way NdjsonFollower does: a line
+    is complete only once its trailing newline is on disk, so an
+    unterminated final line is a torn tail and is withheld regardless of
+    whether it happens to parse. Returns (lines, torn_tail); raises a named
+    CheckError (not a bare traceback) when the file is missing."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            raw = f.read()
+    except FileNotFoundError:
+        raise CheckError(f"{path}: stream file not found")
+    except IsADirectoryError:
+        raise CheckError(f"{path}: is a directory, not a stream file")
+    lines = raw.split("\n")
+    torn_tail = False
+    if lines and lines[-1] == "":
+        lines.pop()  # trailing newline leaves one empty final element
+    elif lines and lines[-1] != "":
+        lines.pop()  # unterminated tail: crash-interrupted append
+        torn_tail = True
+    return lines, torn_tail
+
+
 def read_ndjson(path):
     """Parse the metrics stream; returns (header, steps, torn_tail)."""
-    with open(path, "r", encoding="utf-8") as f:
-        raw = f.read()
-    lines = raw.split("\n")
-    # A trailing newline leaves one empty final element; drop it.
-    if lines and lines[-1] == "":
-        lines.pop()
+    lines, torn_tail = read_journal_lines(path)
     header = None
     steps = []
-    torn_tail = False
     for i, line in enumerate(lines):
         try:
             record = json.loads(line)
         except json.JSONDecodeError:
-            if i == len(lines) - 1:
-                # Torn final line: the documented crash-safety semantic.
-                torn_tail = True
-                continue
+            # Telemetry truncates its stream at run start, so unlike the
+            # manifest it can never contain a healed torn line mid-stream.
             raise CheckError(f"{path}:{i + 1}: malformed JSON mid-stream")
         if not isinstance(record, dict) or "type" not in record:
             raise CheckError(f"{path}:{i + 1}: record has no 'type' field")
@@ -157,22 +195,46 @@ def check_trace(path):
             raise CheckError(f"{path}: traceEvents[{i}] (ph=i) missing ts")
         if "cat" in e:
             cats.add(e["cat"])
-    # The tentpole contract: profiler regions AND stream intervals on one
+    if "otherData" not in trace or not isinstance(trace["otherData"], dict):
+        raise CheckError(f"{path}: missing otherData metadata object")
+    other = trace["otherData"]
+    if other.get("merged") == "campaign":
+        # Merged fleet trace: scheduler queue/transition events plus per-case
+        # step marks, with campaign-level metadata.
+        for cat in CAMPAIGN_TRACE_CATS:
+            if cat not in cats:
+                raise CheckError(
+                    f"{path}: no events with cat={cat!r} — a merged campaign "
+                    "trace must contain scheduler events and step marks")
+        for key in CAMPAIGN_TRACE_METADATA:
+            if key not in other:
+                raise CheckError(f"{path}: otherData missing {key!r}")
+        return events, cats
+    # The single-run contract: profiler regions AND stream intervals on one
     # timeline, with step boundaries marked.
     for cat in ("profiler", "stream", "step"):
         if cat not in cats:
             raise CheckError(
                 f"{path}: no events with cat={cat!r} — the merged timeline "
                 "must contain profiler regions, stream intervals and step marks")
-    if "otherData" not in trace:
-        raise CheckError(f"{path}: missing otherData metadata object")
     for key in REQUIRED_METADATA:
-        if key not in trace["otherData"]:
+        if key not in other:
             raise CheckError(f"{path}: otherData missing {key!r}")
     return events, cats
 
 
+def print_trace_ok(path, events, cats):
+    print(f"{path}: OK ({len(events)} trace events, "
+          f"categories: {', '.join(sorted(cats))})")
+
+
 def cmd_check(paths):
+    if len(paths) == 1 and paths[0].endswith(".trace.json"):
+        # Lone trace check (the campaign's merged trace has no companion
+        # NDJSON stream of its own).
+        events, cats = check_trace(paths[0])
+        print_trace_ok(paths[0], events, cats)
+        return 0
     ndjson_path = paths[0]
     header, steps, torn_tail = check_ndjson(ndjson_path)
     print(f"{ndjson_path}: OK ({len(steps)} step records, "
@@ -180,8 +242,7 @@ def cmd_check(paths):
           + (", torn final line tolerated" if torn_tail else "") + ")")
     if len(paths) > 1:
         events, cats = check_trace(paths[1])
-        print(f"{paths[1]}: OK ({len(events)} trace events, "
-              f"categories: {', '.join(sorted(cats))})")
+        print_trace_ok(paths[1], events, cats)
     return 0
 
 
@@ -201,30 +262,29 @@ CAMPAIGN_TRANSITIONS = {
 
 
 def read_campaign_manifest(path):
-    """Parse the manifest; returns (records, torn_tail) of (lineno, dict)."""
-    with open(path, "r", encoding="utf-8") as f:
-        raw = f.read()
-    lines = raw.split("\n")
-    if lines and lines[-1] == "":
-        lines.pop()
+    """Parse the manifest; returns (records, torn_tail, healed) where
+    records is a list of (lineno, dict). A resume session's writer heals a
+    torn tail by terminating it with a newline, so the journal may contain
+    complete-but-malformed lines mid-stream; like the C++ fold
+    (sched::apply_manifest_line ignores them), they are skipped and counted
+    in `healed`, never fatal."""
+    lines, torn_tail = read_journal_lines(path)
     records = []
-    torn_tail = False
+    healed = 0
     for i, line in enumerate(lines):
         try:
             record = json.loads(line)
         except json.JSONDecodeError:
-            if i == len(lines) - 1:
-                torn_tail = True  # crash-interrupted final append
-                continue
-            raise CheckError(f"{path}:{i + 1}: malformed JSON mid-stream")
+            healed += 1
+            continue
         if not isinstance(record, dict) or "type" not in record:
             raise CheckError(f"{path}:{i + 1}: record has no 'type' field")
         records.append((i + 1, record))
-    return records, torn_tail
+    return records, torn_tail, healed
 
 
 def check_campaign(path):
-    records, torn_tail = read_campaign_manifest(path)
+    records, torn_tail, healed = read_campaign_manifest(path)
     if not records:
         raise CheckError(f"{path}: empty manifest")
     lineno, header = records[0]
@@ -291,18 +351,23 @@ def check_campaign(path):
         raise CheckError(
             f"{path}: header declares {header['cases']} cases, "
             f"{len(cases)} case records found")
-    return header, cases, last_state, attempts, resumes, torn_tail
+    return header, cases, last_state, attempts, resumes, torn_tail, healed
 
 
 def cmd_campaign(path):
-    header, cases, last_state, attempts, resumes, torn = check_campaign(path)
+    (header, cases, last_state, attempts, resumes, torn,
+     healed) = check_campaign(path)
     counts = {}
     for cid in cases:
         counts.setdefault(last_state.get(cid, "declared"), []).append(cid)
     total_attempts = sum(attempts.values())
+    notes = ""
+    if torn:
+        notes += ", torn final line tolerated"
+    if healed:
+        notes += f", {healed} healed torn line(s) skipped"
     print(f"{path}: OK (campaign {header['campaign']!r}, {len(cases)} cases, "
-          f"{resumes} resume(s), {total_attempts} attempts"
-          + (", torn final line tolerated" if torn else "") + ")")
+          f"{resumes} resume(s), {total_attempts} attempts" + notes + ")")
     for state in ("done", "running", "queued", "retried", "failed", "declared"):
         ids = counts.get(state)
         if ids:

@@ -20,6 +20,18 @@
 //     write DIR/campaign.trace.json, a merged Chrome trace with every case
 //     on its own track (validate: tools/felis_trace.py --check)
 //
+// Service mode (src/svc/): a resident multi-tenant daemon plus a file-drop
+// client — no sockets, SIGKILL-safe at any instant (DESIGN.md §15):
+//   ./felis_campaign --serve campaign.txt
+//     run the campaign and stay resident, admitting spool submissions with
+//     per-tenant fair-share quotas, priorities and checkpoint-boundary
+//     preemption; restart the same command after a crash to recover
+//   ./felis_campaign --submit sweep.txt --to DIR
+//     atomically drop sweep.txt (ordinary param syntax + submit.tenant /
+//     submit.priority) into DIR/spool for the daemon serving DIR
+//   ./felis_campaign --drain --to DIR | --shutdown --to DIR
+//     ask the daemon to stop now (drain) or after queued work (shutdown)
+//
 // The campaign file is an ordinary key = value ParamMap with sweep.* axes;
 // `case.type` (sweepable: `sweep.type = rbc,rbc2d,ihc`) selects each case's
 // scenario from the case registry:
@@ -45,6 +57,8 @@
 #include "obs/exporters.hpp"
 #include "sched/case_runner.hpp"
 #include "sched/scheduler.hpp"
+#include "svc/service.hpp"
+#include "svc/spool.hpp"
 
 using namespace felis;
 
@@ -53,6 +67,9 @@ namespace {
 constexpr const char* kUsage =
     "usage: felis_campaign <campaign.txt> [--dry-run] [--steps N] "
     "[--dir PATH] [--bench-json PATH]\n"
+    "       felis_campaign --serve <campaign.txt> [--dir PATH] [--steps N]\n"
+    "       felis_campaign --submit <sweep.txt> --to DIR\n"
+    "       felis_campaign --drain --to DIR | --shutdown --to DIR\n"
     "       felis_campaign --list-cases\n"
     "       felis_campaign --status DIR [--watch] [--interval S] [--json]\n"
     "       felis_campaign --export-trace DIR\n";
@@ -141,7 +158,12 @@ int main(int argc, char** argv) {
   std::string dir_override;
   std::string status_dir;
   std::string trace_dir;
+  std::string submit_file;
+  std::string submit_to;
+  bool drain = false;
+  bool shutdown = false;
   bool dry_run = false;
+  bool serve = false;
   bool watch = false;
   bool json_out = false;
   double interval = 2.0;
@@ -155,6 +177,16 @@ int main(int argc, char** argv) {
       return 0;
     } else if (std::strcmp(argv[i], "--dry-run") == 0) {
       dry_run = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    } else if (std::strcmp(argv[i], "--submit") == 0 && i + 1 < argc) {
+      submit_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--to") == 0 && i + 1 < argc) {
+      submit_to = argv[++i];
+    } else if (std::strcmp(argv[i], "--drain") == 0) {
+      drain = true;
+    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+      shutdown = true;
     } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
       steps_override = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
@@ -177,7 +209,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument '%s' (valid: <campaign.txt>, --dry-run, "
                    "--steps, --dir, --bench-json, --list-cases, --status, "
-                   "--watch, --interval, --json, --export-trace)\n",
+                   "--watch, --interval, --json, --export-trace, --serve, "
+                   "--submit, --to, --drain, --shutdown)\n",
                    argv[i]);
       return 64;
     }
@@ -187,6 +220,40 @@ int main(int argc, char** argv) {
     return run_observer(trace_dir.empty() ? status_dir : trace_dir, watch,
                         interval > 0 ? interval : 2.0, json_out,
                         !trace_dir.empty());
+
+  // ---- service client verbs: pure file drops, no daemon required ----
+  if (!submit_file.empty()) {
+    if (submit_to.empty()) {
+      std::fprintf(stderr, "--submit needs --to DIR (the served campaign dir)\n");
+      return 64;
+    }
+    try {
+      const std::string id = svc::submit_file(submit_to, submit_file);
+      std::printf("submitted '%s' as '%s' (spool: %s)\n", submit_file.c_str(),
+                  id.c_str(), svc::spool_dir(submit_to).c_str());
+      return 0;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "submit failed: %s\n", e.what());
+      return 66;
+    }
+  }
+  if (drain || shutdown) {
+    const std::string verb = drain ? "drain" : "shutdown";
+    if (submit_to.empty()) {
+      std::fprintf(stderr, "--%s needs --to DIR (the served campaign dir)\n",
+                   verb.c_str());
+      return 64;
+    }
+    try {
+      svc::request_control(submit_to, verb);
+      std::printf("%s requested for service on '%s'\n", verb.c_str(),
+                  submit_to.c_str());
+      return 0;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s request failed: %s\n", verb.c_str(), e.what());
+      return 66;
+    }
+  }
 
   if (campaign_file.empty()) {
     std::fputs(kUsage, stderr);
@@ -244,6 +311,23 @@ int main(int argc, char** argv) {
                 overrides.c_str());
   }
   if (dry_run) return 0;
+
+  if (serve) {
+    svc::Service service(std::move(spec), sched::make_case_runner(),
+                         svc::service_options_from_params(params));
+    const sched::CampaignReport report = service.serve();
+    std::printf("\n%-40s %8s %8s %10s\n", "case", "state", "attempts", "wall");
+    for (const sched::CaseOutcome& out : report.outcomes)
+      std::printf("%-40s %8s %8d %9.3fs%s\n", out.id.c_str(),
+                  out.state.c_str(), out.attempts, out.wall_seconds,
+                  out.skipped ? "  (previous session)" : "");
+    std::printf("\n%d done, %d skipped, %d failed, %d drained, %d retries, "
+                "%d submitted, %d preempted in %.3f s (utilisation %.2f)\n",
+                report.completed, report.skipped, report.failed,
+                report.drained, report.retries, report.submitted,
+                report.preemptions, report.wall_seconds, report.utilisation());
+    return svc::Service::exit_code(report);
+  }
 
   sched::Scheduler scheduler(std::move(spec),
                              sched::make_case_runner());

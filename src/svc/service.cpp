@@ -1,0 +1,139 @@
+#include "svc/service.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <set>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/logger.hpp"
+#include "obs/campaign_monitor.hpp"
+#include "obs/exporters.hpp"
+#include "svc/spool.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace felis::svc {
+
+ServiceOptions service_options_from_params(const ParamMap& params) {
+  ServiceOptions options;
+  options.poll_seconds =
+      std::max(0.01, params.get_real("svc.poll_seconds", options.poll_seconds));
+  options.status_seconds = std::max(
+      0.05, params.get_real("svc.status_seconds", options.status_seconds));
+  return options;
+}
+
+Service::Service(sched::CampaignSpec spec, sched::CaseRunner runner,
+                 ServiceOptions options)
+    : spec_(std::move(spec)), runner_(std::move(runner)), options_(options) {}
+
+int Service::exit_code(const sched::CampaignReport& report) {
+  if (report.failed > 0) return 1;
+  if (report.drained > 0) return 2;
+  return 0;
+}
+
+sched::CampaignReport Service::serve() {
+  const std::string dir = spec_.config.dir;
+  std::filesystem::create_directories(dir);
+
+  // ---- startup recovery: the journal decides what already happened ----
+  const sched::ManifestState folded =
+      sched::read_manifest(spec_.manifest_path());
+  std::vector<sched::CaseSpec> recovered =
+      recover_submissions(dir, spec_.config, folded);
+  std::set<std::string> known;
+  for (const sched::CaseSpec& cs : spec_.cases) known.insert(cs.id);
+  usize merged = 0;
+  for (sched::CaseSpec& cs : recovered) {
+    if (!known.insert(cs.id).second) continue;
+    spec_.cases.push_back(std::move(cs));
+    ++merged;
+  }
+  if (merged > 0) sched::order_cases(spec_.cases);
+  FELIS_LOG_INFO("campaign service '", spec_.config.name, "' on '", dir,
+                 "': ", merged, " case(s) recovered from archived submissions");
+
+  sched::Scheduler scheduler(std::move(spec_), std::move(runner_));
+  scheduler.enable_serve();
+  sched::Scheduler::install_sigint_drain(&scheduler);
+
+  // The submission ledger the admission protocol replays against; seeded
+  // from the fold, extended as decisions are journalled.
+  std::map<std::string, sched::SubmissionStatus> decided = folded.submissions;
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_relaxed) && !scheduler.serving())
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    obs::CampaignMonitor monitor(dir);
+    const telemetry::Stopwatch watch;
+    double last_status = -1e30;
+    while (!stop.load(std::memory_order_relaxed) && scheduler.serving()) {
+      // Control drops first: a shutdown request should gate this very scan.
+      for (const std::string& verb : scan_controls(dir)) {
+        FELIS_LOG_INFO("campaign service: '", verb, "' requested");
+        if (verb == "shutdown")
+          scheduler.request_shutdown();
+        else
+          scheduler.request_drain();
+        std::filesystem::remove(control_path(dir, verb));
+      }
+
+      for (const std::string& file : scan_spool(dir)) {
+        if (!scheduler.serving() || scheduler.draining()) break;
+        try {
+          const AdmissionDecision d = admit_spool_file(
+              dir, file, scheduler.spec().config, decided,
+              scheduler.pending_cost_seconds(),
+              [&](const AdmissionDecision& dec) {
+                scheduler.journal_submission(dec.id, dec.tenant, dec.priority,
+                                             dec.decision, dec.reason,
+                                             dec.case_count, dec.cost_seconds);
+              },
+              [&](sched::CaseSpec cs, std::string* error) {
+                return scheduler.submit_case(std::move(cs), error);
+              });
+          if (d.decision != "deferred")
+            FELIS_LOG_INFO("submission '", d.id, "' ", d.decision,
+                           d.reason.empty() ? "" : " (" + d.reason + ")", ": ",
+                           d.case_count, " case(s), tenant '", d.tenant,
+                           "', priority ", d.priority);
+        } catch (const std::exception& e) {
+          FELIS_LOG_WARN("spool admission of '", file, "' failed: ", e.what());
+        }
+      }
+
+      if (watch.seconds() - last_status >= options_.status_seconds) {
+        last_status = watch.seconds();
+        try {
+          monitor.poll();
+          obs::write_status_files(monitor, dir);
+        } catch (const std::exception& e) {
+          FELIS_LOG_WARN("campaign service status export failed: ", e.what());
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<long>(options_.poll_seconds * 1000)));
+    }
+  });
+
+  sched::CampaignReport report = scheduler.run();
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+  sched::Scheduler::install_sigint_drain(nullptr);
+
+  // Final snapshot: observers of a stopped service see its at-rest state.
+  try {
+    obs::CampaignMonitor monitor(dir);
+    monitor.poll();
+    obs::write_status_files(monitor, dir);
+  } catch (const std::exception& e) {
+    FELIS_LOG_WARN("campaign service final status export failed: ", e.what());
+  }
+  return report;
+}
+
+}  // namespace felis::svc

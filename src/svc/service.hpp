@@ -1,0 +1,65 @@
+/// \file service.hpp
+/// \brief svc::Service: the resident, multi-tenant campaign daemon.
+///
+/// `felis_campaign --serve campaign.txt` wraps the scheduler in a Service:
+/// the worker pool stays resident after the initial queue drains, and a
+/// poller thread feeds it from the crash-safe spool (spool.hpp) — clients
+/// submit sweeps, request a drain or a shutdown purely by dropping files, so
+/// the daemon needs no socket and survives SIGKILL at any instant:
+///
+///   * startup folds the manifest, finishes any half-admitted spool files
+///     and re-expands every archived submission into the session's seed
+///     queue (recover_submissions) — zero lost, zero duplicated work;
+///   * the poller admits new spool files through admit_spool_file, routing
+///     decisions into the manifest via the scheduler's single writer and
+///     cases into the running pool via Scheduler::submit_case (priority,
+///     fair-share quotas and checkpoint-boundary preemption apply — see
+///     scheduler.hpp);
+///   * the same poller refreshes <dir>/status.json + status.prom through
+///     obs::CampaignMonitor, so `felis_campaign --status` and scrapers watch
+///     the live service without touching it;
+///   * `ctl-drain.cmd` / `ctl-shutdown.cmd` drops map to request_drain()
+///     (stop admissions, cancel runs, exit 2) and request_shutdown() (finish
+///     queued work, then exit).
+#pragma once
+
+#include <string>
+
+#include "sched/case_runner.hpp"
+#include "sched/scheduler.hpp"
+
+namespace felis::svc {
+
+struct ServiceOptions {
+  double poll_seconds = 0.2;    ///< spool/control scan period (svc.poll_seconds)
+  double status_seconds = 1.0;  ///< status.json refresh period (svc.status_seconds)
+};
+
+/// Read svc.poll_seconds / svc.status_seconds (clamped to sane minima).
+ServiceOptions service_options_from_params(const ParamMap& params);
+
+class Service {
+ public:
+  /// The spec seeds the initial queue exactly like a batch campaign;
+  /// submissions extend it while serving.
+  Service(sched::CampaignSpec spec, sched::CaseRunner runner,
+          ServiceOptions options = {});
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Recover, serve until shutdown/drain, write a final status snapshot.
+  /// Blocking; call once. The report covers this session (recovered and
+  /// submitted cases included).
+  sched::CampaignReport serve();
+
+  /// Conventional exit code for a finished service session: 1 on failures,
+  /// 2 on drain, 0 otherwise.
+  static int exit_code(const sched::CampaignReport& report);
+
+ private:
+  sched::CampaignSpec spec_;
+  sched::CaseRunner runner_;
+  ServiceOptions options_;
+};
+
+}  // namespace felis::svc

@@ -1,0 +1,332 @@
+#include "svc/spool.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/logger.hpp"
+#include "io/atomic_file.hpp"
+
+namespace felis::svc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kCaseExt = ".case";
+
+std::string sanitize_stem(const std::string& stem) {
+  std::string out;
+  for (const char c : stem) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out.push_back(ok ? c : '-');
+  }
+  return out.empty() ? "submission" : out;
+}
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<std::byte> to_bytes(const std::string& text) {
+  std::vector<std::byte> bytes(text.size());
+  for (usize i = 0; i < text.size(); ++i)
+    bytes[i] = static_cast<std::byte>(text[i]);
+  return bytes;
+}
+
+std::string to_text(const std::vector<std::byte>& bytes) {
+  std::string text(bytes.size(), '\0');
+  for (usize i = 0; i < bytes.size(); ++i)
+    text[i] = static_cast<char>(bytes[i]);
+  return text;
+}
+
+sched::SubmissionStatus status_of(const AdmissionDecision& d) {
+  sched::SubmissionStatus st;
+  st.decision = d.decision;
+  st.reason = d.reason;
+  st.tenant = d.tenant;
+  st.priority = d.priority;
+  st.cases = d.case_count;
+  st.cost_seconds = d.cost_seconds;
+  return st;
+}
+
+}  // namespace
+
+std::string spool_dir(const std::string& campaign_dir) {
+  return (fs::path(campaign_dir) / "spool").string();
+}
+
+std::string archive_dir(const std::string& campaign_dir) {
+  return (fs::path(campaign_dir) / "submitted").string();
+}
+
+std::string spool_path(const std::string& campaign_dir,
+                       const std::string& id) {
+  return (fs::path(spool_dir(campaign_dir)) / (id + kCaseExt)).string();
+}
+
+std::string archive_path(const std::string& campaign_dir,
+                         const std::string& id) {
+  return (fs::path(archive_dir(campaign_dir)) / (id + kCaseExt)).string();
+}
+
+std::string control_path(const std::string& campaign_dir,
+                         const std::string& verb) {
+  return (fs::path(spool_dir(campaign_dir)) / ("ctl-" + verb + ".cmd"))
+      .string();
+}
+
+std::string submission_id(const std::string& stem, const std::string& text) {
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(text)));
+  return sanitize_stem(stem) + "-" + hex;
+}
+
+std::string submit_text(const std::string& campaign_dir,
+                        const std::string& stem, const std::string& text,
+                        io::FaultInjector* fault) {
+  const std::string id = submission_id(stem, text);
+  fs::create_directories(spool_dir(campaign_dir));
+  io::atomic_write_file(spool_path(campaign_dir, id), to_bytes(text), fault);
+  return id;
+}
+
+std::string submit_file(const std::string& campaign_dir,
+                        const std::string& case_file,
+                        io::FaultInjector* fault) {
+  const std::string text = to_text(io::read_file(case_file));
+  return submit_text(campaign_dir, fs::path(case_file).stem().string(), text,
+                     fault);
+}
+
+void request_control(const std::string& campaign_dir,
+                     const std::string& verb) {
+  FELIS_CHECK_MSG(verb == "drain" || verb == "shutdown",
+                  "unknown service control verb '" << verb << "'");
+  fs::create_directories(spool_dir(campaign_dir));
+  io::atomic_write_file(control_path(campaign_dir, verb), to_bytes(verb + "\n"));
+}
+
+std::vector<std::string> scan_spool(const std::string& campaign_dir) {
+  std::vector<std::string> out;
+  const fs::path dir(spool_dir(campaign_dir));
+  if (!fs::is_directory(dir)) return out;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir))
+    if (entry.is_regular_file() && entry.path().extension() == kCaseExt)
+      out.push_back(entry.path().string());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> scan_controls(const std::string& campaign_dir) {
+  std::vector<std::string> verbs;
+  for (const char* verb : {"drain", "shutdown"})
+    if (fs::exists(control_path(campaign_dir, verb)))
+      verbs.push_back(verb);
+  return verbs;
+}
+
+Submission parse_submission(const std::string& path,
+                            const sched::CampaignConfig& cfg) {
+  Submission sub;
+  sub.id = fs::path(path).stem().string();
+  sub.text = to_text(io::read_file(path));
+  const ParamMap params = ParamMap::parse(sub.text);
+  sub.tenant = params.get_string("submit.tenant", sub.tenant);
+  sub.priority = params.get_int("submit.priority", sub.priority);
+  FELIS_CHECK_MSG(!sub.tenant.empty(), "submission '"
+                                           << sub.id
+                                           << "': submit.tenant must be "
+                                              "non-empty");
+  sub.cases = sched::expand_campaign_cases(params);
+  for (sched::CaseSpec& cs : sub.cases) {
+    // Prefix with the submission id: concurrent tenants submitting the same
+    // sweep must land in distinct case directories and manifest keys.
+    cs.id = sub.id + "-" + cs.id;
+    cs.threads = cs.params.get_int("case.ranks", cfg.ranks);
+    FELIS_CHECK_MSG(cs.threads >= 1,
+                    "case '" << cs.id << "': ranks must be >= 1");
+    cs.steps = cs.params.get_int("case.steps", static_cast<int>(cfg.steps));
+    FELIS_CHECK_MSG(cs.steps >= 1,
+                    "case '" << cs.id << "': steps must be >= 1");
+    cs.cost_seconds =
+        sched::estimate_case_seconds(cs.params, cs.threads, cs.steps);
+    cs.tenant = sub.tenant;
+    cs.priority = sub.priority;
+    sub.cost_seconds += cs.cost_seconds;
+    sub.max_case_seconds = std::max(sub.max_case_seconds, cs.cost_seconds);
+  }
+  sched::order_cases(sub.cases);
+  return sub;
+}
+
+AdmissionDecision admit_spool_file(
+    const std::string& campaign_dir, const std::string& spool_file,
+    const sched::CampaignConfig& cfg,
+    std::map<std::string, sched::SubmissionStatus>& decided,
+    double pending_cost_seconds, const JournalFn& journal,
+    const EnqueueFn& enqueue, io::FaultInjector* fault) {
+  AdmissionDecision d;
+  d.id = fs::path(spool_file).stem().string();
+
+  Submission sub;
+  bool parsed = false;
+  std::string parse_detail;
+  try {
+    sub = parse_submission(spool_file, cfg);
+    parsed = true;
+  } catch (const Error& e) {
+    parse_detail = e.what();
+  }
+
+  const auto prior = decided.find(d.id);
+  if (prior != decided.end() && prior->second.terminal()) {
+    // The decision is already durable (crash between steps 1 and 4, or an
+    // identical resubmission): never journal a second one — replay the
+    // remaining steps instead.
+    const sched::SubmissionStatus& st = prior->second;
+    d.decision = st.decision;
+    d.reason = st.reason;
+    d.tenant = st.tenant;
+    d.priority = st.priority;
+    d.case_count = st.cases;
+    d.cost_seconds = st.cost_seconds;
+    if (d.decision == "rejected") {
+      fs::remove(spool_file);
+      return d;
+    }
+  } else {
+    if (!parsed) {
+      d.decision = "rejected";
+      d.reason = "parse-error";
+      FELIS_LOG_WARN("spool submission '", d.id,
+                     "' rejected (parse-error): ", parse_detail);
+    } else {
+      d.tenant = sub.tenant;
+      d.priority = sub.priority;
+      d.case_count = static_cast<int>(sub.cases.size());
+      d.cost_seconds = sub.cost_seconds;
+      const auto over_budget = std::find_if(
+          sub.cases.begin(), sub.cases.end(), [&](const sched::CaseSpec& cs) {
+            return cs.threads > cfg.thread_budget;
+          });
+      if (over_budget != sub.cases.end()) {
+        d.decision = "rejected";
+        d.reason = "over-thread-budget";
+      } else if (cfg.max_case_cost_seconds > 0 &&
+                 sub.max_case_seconds > cfg.max_case_cost_seconds) {
+        d.decision = "rejected";
+        d.reason = "over-cost-budget";
+      } else if (cfg.max_pending_cost_seconds > 0 &&
+                 pending_cost_seconds + sub.cost_seconds >
+                     cfg.max_pending_cost_seconds) {
+        // Deferred is not terminal: the file stays in the spool and is
+        // re-offered next poll; journal the first deferral only, so the
+        // manifest records why the work waited without flooding.
+        d.decision = "deferred";
+        d.reason = "backlog-full";
+        if (prior == decided.end() || prior->second.decision != "deferred") {
+          journal(d);
+          decided[d.id] = status_of(d);
+        }
+        return d;
+      } else {
+        d.decision = "admitted";
+      }
+    }
+    // Step 1: the decision record. Durable before anything acts on it.
+    journal(d);
+    decided[d.id] = status_of(d);
+    if (d.decision == "rejected") {
+      fs::remove(spool_file);
+      return d;
+    }
+  }
+
+  // Admitted (freshly, or replaying after a crash/resubmission).
+  if (!parsed) {
+    // A durably admitted submission that no longer parses: the spool file
+    // was damaged after its decision. Leave it for inspection — recovery
+    // from the archive (if it was written) still seeds the cases.
+    FELIS_LOG_WARN("spool submission '", d.id,
+                   "' is admitted but unreadable: ", parse_detail);
+    return d;
+  }
+  // Step 2: hand every expanded case to the scheduler. Duplicate-id
+  // refusals mean an earlier attempt (or startup recovery) already enqueued
+  // that case — exactly the idempotence replay needs.
+  for (const sched::CaseSpec& cs : sub.cases) {
+    std::string err;
+    sched::CaseSpec copy = cs;
+    if (enqueue(std::move(copy), &err)) continue;
+    if (err.find("duplicate case id") != std::string::npos) continue;
+    // Scheduler refused (shutting down): keep the spool file; the decision
+    // is durable, so the next session recovers and re-seeds this work.
+    d.reason = err;
+    return d;
+  }
+  // Step 3: archive the raw text so later sessions can re-expand it.
+  const std::string archived = archive_path(campaign_dir, d.id);
+  if (!fs::exists(archived)) {
+    fs::create_directories(archive_dir(campaign_dir));
+    io::atomic_write_file(archived, to_bytes(sub.text), fault);
+  }
+  // Step 4: only now may the spool entry disappear.
+  fs::remove(spool_file);
+  return d;
+}
+
+std::vector<sched::CaseSpec> recover_submissions(
+    const std::string& campaign_dir, const sched::CampaignConfig& cfg,
+    const sched::ManifestState& folded) {
+  fs::create_directories(spool_dir(campaign_dir));
+  fs::create_directories(archive_dir(campaign_dir));
+
+  // Finish the protocol for spool files whose decision is already durable.
+  for (const std::string& path : scan_spool(campaign_dir)) {
+    const std::string id = fs::path(path).stem().string();
+    const auto it = folded.submissions.find(id);
+    if (it == folded.submissions.end() || !it->second.terminal()) continue;
+    if (it->second.decision == "admitted") {
+      const std::string archived = archive_path(campaign_dir, id);
+      if (!fs::exists(archived))
+        io::atomic_write_file(archived, io::read_file(path));
+    }
+    fs::remove(path);
+  }
+
+  // Re-expand every archived submission; the scheduler's resume seeding
+  // skips completed cases and re-declares never-journalled ones.
+  std::vector<sched::CaseSpec> recovered;
+  std::vector<std::string> archives;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(archive_dir(campaign_dir)))
+    if (entry.is_regular_file() && entry.path().extension() == kCaseExt)
+      archives.push_back(entry.path().string());
+  std::sort(archives.begin(), archives.end());
+  for (const std::string& path : archives) {
+    try {
+      Submission sub = parse_submission(path, cfg);
+      for (sched::CaseSpec& cs : sub.cases)
+        recovered.push_back(std::move(cs));
+    } catch (const Error& e) {
+      FELIS_LOG_WARN("skipping unreadable archived submission '", path,
+                     "': ", e.what());
+    }
+  }
+  return recovered;
+}
+
+}  // namespace felis::svc

@@ -1,0 +1,160 @@
+/// \file spool.hpp
+/// \brief Crash-safe drop-in spool: how work enters a running campaign service.
+///
+/// A client submits a sweep by atomically renaming a parameter file into
+/// `<campaign.dir>/spool/<id>.case` (io::atomic_write_file — readers never see
+/// a torn submission). The resident service admits each spool file through a
+/// fixed four-step protocol whose steps are individually durable and
+/// idempotent, so a SIGKILL at *any* instant loses no accepted submission and
+/// double-admits nothing on restart:
+///
+///   1. journal the admission decision (`submit` record) into the campaign
+///      manifest — the single fsync'd source of truth;
+///   2. enqueue the expanded cases with the scheduler (each journals its
+///      `case` declaration + `queued` transition);
+///   3. archive the raw submission text to `<dir>/submitted/<id>.case`
+///      (atomic write) so a later session can re-expand it;
+///   4. unlink the spool file.
+///
+/// Crash recovery folds the manifest and replays forward: a spool file whose
+/// id already has a durable *admitted* decision is archived (if needed) and
+/// unlinked without a second decision — the fold itself refuses duplicate
+/// terminal decisions (sched::ManifestReplayError), which is the double-admit
+/// the protocol exists to prevent. A file with no durable decision is simply
+/// admitted as if it had just arrived. The spool_model in src/verify/ BFS-
+/// enumerates every crash point of this protocol against those invariants.
+///
+/// Submission ids are content-addressed (`<stem>-<fnv1a64(text)>`), so
+/// resubmitting identical bytes is idempotent rather than duplicated work.
+///
+/// Control verbs (`--drain` / `--shutdown`) travel the same way: an atomic
+/// `spool/ctl-<verb>.cmd` drop the service consumes. Everything here is plain
+/// files — the client needs no socket, no lock, and no live daemon to submit.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/fault_injector.hpp"
+#include "sched/campaign.hpp"
+#include "sched/manifest.hpp"
+
+namespace felis::svc {
+
+// ---- layout ----
+
+/// `<campaign.dir>/spool`: in-flight submissions and control drops.
+std::string spool_dir(const std::string& campaign_dir);
+/// `<campaign.dir>/submitted`: admitted submissions' raw text, the re-expand
+/// source for crash recovery and later sessions.
+std::string archive_dir(const std::string& campaign_dir);
+std::string spool_path(const std::string& campaign_dir, const std::string& id);
+std::string archive_path(const std::string& campaign_dir,
+                         const std::string& id);
+/// `<spool>/ctl-<verb>.cmd` (verb: "drain" | "shutdown").
+std::string control_path(const std::string& campaign_dir,
+                         const std::string& verb);
+
+/// Content-addressed id: `<sanitized stem>-<fnv1a64 hex of text>`.
+std::string submission_id(const std::string& stem, const std::string& text);
+
+// ---- client side ----
+
+/// Drop `text` into the spool under its content-addressed id (returned).
+/// Crash-safe: the file appears atomically or not at all. `fault` (tests)
+/// injects failures into the tmp-write/rename path.
+std::string submit_text(const std::string& campaign_dir,
+                        const std::string& stem, const std::string& text,
+                        io::FaultInjector* fault = nullptr);
+/// submit_text() of a parameter file's bytes, stem = its basename.
+std::string submit_file(const std::string& campaign_dir,
+                        const std::string& case_file,
+                        io::FaultInjector* fault = nullptr);
+/// Atomically drop a control verb for the resident service.
+void request_control(const std::string& campaign_dir, const std::string& verb);
+
+// ---- service side ----
+
+/// Sorted paths of the `*.case` files currently in the spool.
+std::vector<std::string> scan_spool(const std::string& campaign_dir);
+/// Control verbs currently dropped (files are left in place; the service
+/// removes them after acting).
+std::vector<std::string> scan_controls(const std::string& campaign_dir);
+
+/// One parsed spool file: scheduling keys plus the fully expanded, validated,
+/// cost-ordered cases (ids prefixed with the submission id so concurrent
+/// tenants never collide).
+struct Submission {
+  std::string id;
+  std::string tenant = "default";
+  int priority = 0;
+  std::string text;  ///< raw bytes, archived verbatim on admission
+  std::vector<sched::CaseSpec> cases;
+  double cost_seconds = 0;      ///< perfmodel sum over cases
+  double max_case_seconds = 0;  ///< most expensive single case
+};
+
+/// Parse + expand one submission file against the service's campaign
+/// defaults (campaign.ranks / campaign.steps; campaign.* keys inside the
+/// submission are ignored). Throws felis::Error on malformed sweeps or bad
+/// submit.* keys — admit_spool_file() turns that into a journalled
+/// "parse-error" rejection, not a crash. Budget checks are admission policy,
+/// not parse errors, so rejections carry their own named reasons.
+Submission parse_submission(const std::string& path,
+                            const sched::CampaignConfig& cfg);
+
+/// The outcome admit_spool_file() journals and returns.
+struct AdmissionDecision {
+  std::string id;
+  std::string decision;  ///< admitted | rejected | deferred
+  std::string reason;    ///< named cause for rejected/deferred ("" = admitted)
+  std::string tenant = "default";
+  int priority = 0;
+  int case_count = 0;
+  double cost_seconds = 0;
+};
+
+/// Journal one admission decision (the service routes this to
+/// sched::Scheduler::journal_submission, i.e. the manifest).
+using JournalFn = std::function<void(const AdmissionDecision&)>;
+/// Enqueue one expanded case; false + error on refusal. A "duplicate case
+/// id" refusal is treated as already-enqueued (idempotent replay); any other
+/// refusal aborts the admission with the spool file left in place.
+using EnqueueFn =
+    std::function<bool(sched::CaseSpec, std::string* error)>;
+
+/// Run the four-step admission protocol on one spool file, resuming from
+/// whatever `decided` (the folded manifest's submission ledger, kept current
+/// by the caller) says already happened. Policy:
+///   rejected  "parse-error"        malformed submission;
+///   rejected  "over-thread-budget" a case needs more threads than
+///                                  campaign.thread_budget;
+///   rejected  "over-cost-budget"   a case the perfmodel prices above
+///                                  svc.max_case_cost_seconds;
+///   deferred  "backlog-full"       queued backlog already exceeds
+///                                  svc.max_pending_cost_seconds (file stays,
+///                                  retried next poll; journalled once);
+///   admitted                       otherwise.
+/// `fault` (tests) injects failures into the archive write. Updates
+/// `decided` with any decision it journals.
+AdmissionDecision admit_spool_file(
+    const std::string& campaign_dir, const std::string& spool_file,
+    const sched::CampaignConfig& cfg,
+    std::map<std::string, sched::SubmissionStatus>& decided,
+    double pending_cost_seconds, const JournalFn& journal,
+    const EnqueueFn& enqueue, io::FaultInjector* fault = nullptr);
+
+/// Startup recovery, run before the scheduler exists: finish the protocol
+/// for spool files with a durable terminal decision (archive + unlink
+/// admitted ones, unlink rejected ones; undecided/deferred files are left
+/// for the live poller), then re-expand every archived submission so the
+/// session seeds their cases. Returns the recovered cases (the caller merges
+/// them into the campaign spec, deduplicating by case id; completed ones are
+/// skipped by the scheduler's resume seeding as usual).
+std::vector<sched::CaseSpec> recover_submissions(
+    const std::string& campaign_dir, const sched::CampaignConfig& cfg,
+    const sched::ManifestState& folded);
+
+}  // namespace felis::svc

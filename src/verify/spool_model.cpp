@@ -1,0 +1,255 @@
+#include "verify/spool_model.hpp"
+
+#include <sstream>
+
+#include "sched/campaign.hpp"
+#include "sched/manifest.hpp"
+
+namespace felis::verify {
+
+namespace {
+
+/// A line killed mid-append never received its closing brace; the fold
+/// (apply_manifest_line) skips it and the writer heals it on reopen.
+bool is_torn(const std::string& line) {
+  return line.empty() || line.back() != '}';
+}
+
+}  // namespace
+
+SpoolModel::SpoolModel(SpoolModelOptions opt) : opt_(std::move(opt)) {}
+
+std::string SpoolModel::sub_id(int i) const {
+  return "s" + std::to_string(i);
+}
+
+std::string SpoolModel::case_id(int i) const {
+  return sub_id(i) + "-c0";
+}
+
+std::string SpoolModel::tenant_of(int i) const {
+  return "t" + std::to_string(i % 2);
+}
+
+bool SpoolModel::is_rejected_by_policy(int i) const {
+  return opt_.rejects && i == opt_.submissions - 1;
+}
+
+std::vector<SpoolModel::State> SpoolModel::initial() const {
+  State s;
+  s.subs.resize(static_cast<usize>(opt_.submissions));
+  return {s};
+}
+
+std::vector<std::pair<std::string, SpoolModel::State>> SpoolModel::successors(
+    const State& s) const {
+  std::vector<std::pair<std::string, State>> out;
+  // Violations are absorbing: the checker already has its counterexample.
+  if (!invariant(s).empty()) return out;
+
+  // The production fold every protocol condition consults. A throwing fold
+  // is itself an invariant violation, caught above.
+  sched::ManifestState ms;
+  ms.found = true;
+  for (const std::string& line : s.journal) sched::apply_manifest_line(ms, line);
+
+  // DurableAppendWriter heals the torn tail when the service reopens the
+  // journal to append — mirror that before every append.
+  const auto append = [](State& t, const std::string& record) {
+    if (!t.journal.empty() && is_torn(t.journal.back())) t.journal.pop_back();
+    t.journal.push_back(record);
+  };
+  // Every append gets a torn sibling: the crash landed mid-record, so only
+  // a prefix (which the fold skips) reached the disk.
+  const auto emit_append = [&](const State& base, const std::string& record,
+                               const std::string& label) {
+    State t = base;
+    append(t, record);
+    out.emplace_back(label, std::move(t));
+    if (opt_.torn_appends) {
+      State torn = base;
+      append(torn, record.substr(0, record.size() / 2));
+      out.emplace_back(label + " [torn: killed mid-append]", std::move(torn));
+    }
+  };
+
+  for (int i = 0; i < opt_.submissions; ++i) {
+    const SubRt& rt = s.subs[static_cast<usize>(i)];
+    const std::string id = sub_id(i);
+
+    const auto sub_it = ms.submissions.find(id);
+    const std::string decision =
+        sub_it != ms.submissions.end() ? sub_it->second.decision : "";
+    const bool decided_terminal =
+        sub_it != ms.submissions.end() && sub_it->second.terminal();
+    const bool admitted = decision == "admitted";
+    const bool rejected = decision == "rejected";
+    const auto case_it = ms.cases.find(case_id(i));
+    const bool enqueued = case_it != ms.cases.end();
+
+    // Client: atomic rename into the spool (no journal involvement).
+    if (!rt.dropped) {
+      State t = s;
+      t.subs[static_cast<usize>(i)].dropped = true;
+      t.subs[static_cast<usize>(i)].spool = true;
+      out.emplace_back("drop " + id, std::move(t));
+    }
+
+    // Step 1 — journal the decision. Enabled only while the fold shows no
+    // terminal decision (the decided-check the seeded bug skips).
+    if (rt.spool && (!decided_terminal || opt_.buggy_skip_decided_check)) {
+      const bool reject = is_rejected_by_policy(i);
+      const std::string record = sched::format_submit_record(
+          id, tenant_of(i), /*priority=*/i, reject ? "rejected" : "admitted",
+          reject ? "over-thread-budget" : "", /*cases=*/1,
+          /*cost_seconds=*/1.0, /*campaign_seconds=*/0.0);
+      emit_append(s, record,
+                  std::string("decide ") + id + " -> " +
+                      (reject ? "rejected" : "admitted") +
+                      (decided_terminal ? " [bug: already decided]" : ""));
+    }
+
+    // Step 2 — enqueue the expanded case: declaration + queued transition,
+    // exactly what Scheduler::submit_case journals. Re-enabled until the
+    // queued record is durable; a crash between the two appends re-runs the
+    // step, and the duplicate declaration is harmless (readers fold
+    // declarations last-writer-wins).
+    if (rt.spool && admitted && !enqueued) {
+      sched::CaseSpec cs;
+      cs.id = case_id(i);
+      cs.threads = 1;
+      cs.steps = 1;
+      cs.tenant = tenant_of(i);
+      cs.priority = i;
+      const std::string decl = sched::format_case_record(cs);
+      const std::string queued =
+          sched::format_run_record(cs.id, "queued", 1, 0.0, 0.0);
+      // A crash between the two appends leaves the declaration durable but
+      // not the queued record; the retry then re-writes the declaration.
+      // The duplicate is invisible to every reader (declarations fold
+      // last-writer-wins), so the model keeps a single copy — otherwise
+      // each crash/retry round would grow the journal without bound.
+      bool has_decl = false;
+      for (const std::string& line : s.journal) has_decl |= line == decl;
+      const auto with_decl = [&](const State& base) {
+        State t = base;
+        if (!has_decl) append(t, decl);
+        return t;
+      };
+      {
+        State t = with_decl(s);
+        append(t, queued);
+        out.emplace_back("enqueue " + cs.id, std::move(t));
+      }
+      if (opt_.torn_appends) {
+        // Crash between the declaration and the queued record...
+        if (!has_decl)
+          out.emplace_back("enqueue " + cs.id + " [crash between records]",
+                           with_decl(s));
+        // ...and mid-append of the queued record itself.
+        State torn = with_decl(s);
+        append(torn, queued.substr(0, queued.size() / 2));
+        out.emplace_back("enqueue " + cs.id + " [torn: killed mid-append]",
+                         std::move(torn));
+      }
+    }
+
+    // Step 3 — archive the raw submission text (atomic write: it either
+    // fully exists or not at all, so no torn sibling).
+    if (rt.spool && admitted && enqueued && !rt.archived) {
+      State t = s;
+      t.subs[static_cast<usize>(i)].archived = true;
+      out.emplace_back("archive " + id, std::move(t));
+    }
+
+    // Step 4 — unlink the spool file. Legal only once everything the
+    // submission owes the campaign is durable; the seeded bug jumps here
+    // straight from the admission decision.
+    const bool unlink_ok =
+        opt_.buggy_unlink_before_archive ? admitted
+                                         : (admitted && enqueued && rt.archived);
+    if (rt.spool && unlink_ok) {
+      State t = s;
+      t.subs[static_cast<usize>(i)].spool = false;
+      out.emplace_back("unlink " + id, std::move(t));
+    }
+    if (rt.spool && rejected) {
+      State t = s;
+      t.subs[static_cast<usize>(i)].spool = false;
+      out.emplace_back("unlink rejected " + id, std::move(t));
+    }
+  }
+  return out;
+}
+
+std::string SpoolModel::invariant(const State& s) const {
+  // The production fold must accept the journal in every reachable state: a
+  // second terminal decision for one submission throws ManifestReplayError —
+  // that *is* the double-admit.
+  sched::ManifestState ms;
+  ms.found = true;
+  try {
+    for (const std::string& line : s.journal)
+      sched::apply_manifest_line(ms, line);
+  } catch (const sched::ManifestReplayError& err) {
+    return std::string("double admission: the fold rejected the journal: ") +
+           err.what();
+  }
+
+  for (int i = 0; i < opt_.submissions; ++i) {
+    const SubRt& rt = s.subs[static_cast<usize>(i)];
+    const std::string id = sub_id(i);
+    const auto sub_it = ms.submissions.find(id);
+    const bool decided =
+        sub_it != ms.submissions.end() && sub_it->second.terminal();
+    const bool admitted = decided && sub_it->second.decision == "admitted";
+    const bool enqueued = ms.cases.find(case_id(i)) != ms.cases.end();
+
+    if (decided && !rt.dropped)
+      return "decision journalled for '" + id +
+             "' which no client ever submitted";
+    if (rt.archived && !admitted)
+      return "'" + id + "' archived without a durable admission decision";
+    if (enqueued && !admitted)
+      return "case of '" + id + "' enqueued without a durable admission";
+    if (!rt.spool && rt.dropped) {
+      // The spool entry is gone: everything the submission owes the
+      // campaign must already be durable.
+      if (!decided)
+        return "spool file of '" + id +
+               "' removed with no durable decision: the submission is lost";
+      if (admitted && !enqueued)
+        return "admitted submission '" + id +
+               "' unlinked before its case was journalled: work lost";
+      if (admitted && !rt.archived)
+        return "admitted submission '" + id +
+               "' unlinked before its archive was written: parameters lost";
+    }
+  }
+  return "";
+}
+
+std::string SpoolModel::key(const State& s) const {
+  std::ostringstream os;
+  for (const SubRt& rt : s.subs)
+    os << rt.dropped << rt.spool << rt.archived << ';';
+  os << '#';
+  for (const std::string& line : s.journal) os << line << '\n';
+  return os.str();
+}
+
+std::string SpoolModel::print(const State& s) const {
+  std::ostringstream os;
+  for (int i = 0; i < opt_.submissions; ++i) {
+    const SubRt& rt = s.subs[static_cast<usize>(i)];
+    os << "  " << sub_id(i) << ": dropped=" << rt.dropped
+       << " spool=" << rt.spool << " archived=" << rt.archived << "\n";
+  }
+  if (!s.journal.empty()) {
+    os << "  journal (" << s.journal.size() << " records):\n";
+    for (const std::string& line : s.journal) os << "    " << line << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace felis::verify

@@ -1,0 +1,92 @@
+/// \file spool_model.hpp
+/// \brief Explicit-state model of the spool admission protocol (src/svc/).
+///
+/// Models N clients dropping submissions into a campaign service's spool and
+/// the service admitting them through the four-step protocol of
+/// svc/spool.hpp: (1) journal the decision, (2) enqueue the expanded cases
+/// (case + queued records), (3) archive the raw text, (4) unlink the spool
+/// file. All journal records go through the *production* formatters
+/// (sched::format_submit_record et al.) and every condition is evaluated on
+/// the *production* fold (sched::apply_manifest_line), so a counterexample
+/// is a real protocol bug, not a modelling artifact.
+///
+/// Crash placement: the protocol is self-recovering — every step is enabled
+/// by what the durable journal and the filesystem say, never by in-memory
+/// progress, so a SIGKILL at instant T followed by a restart is exactly the
+/// state in which the remaining condition-enabled actions continue. BFS over
+/// all action interleavings therefore covers a crash between any two steps
+/// for free; the only crash artifact interleaving cannot express is a *torn*
+/// journal append (killed mid-record), which the model adds as an explicit
+/// sibling of every append (the DurableAppendWriter contract: at most one
+/// torn final line, healed on reopen).
+///
+/// Invariants, checked in every reachable state:
+///  * the fold never throws — a second terminal decision for a submission
+///    (the double-admit) is exactly what ManifestReplayError rejects;
+///  * a journalled decision, an archive or an enqueued case always traces
+///    back to a submission the client actually dropped;
+///  * a spool file is only ever removed once its decision is durable, and an
+///    *admitted* submission is only removed once its cases are journalled
+///    AND its raw text is archived — no accepted work is ever lost.
+///
+/// Two seeded-bug modes demonstrate the protocol's load-bearing steps:
+/// `buggy_unlink_before_archive` (unlink as soon as the decision is durable
+/// → accepted parameters lost) and `buggy_skip_decided_check` (re-decide a
+/// submission whose decision is already durable → the double-admit the fold
+/// refuses).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace felis::verify {
+
+struct SpoolModelOptions {
+  /// Concurrent submissions (each expands to one case in the model).
+  int submissions = 2;
+  /// Policy-reject the last submission (exercises the rejected path).
+  bool rejects = true;
+  /// Explore torn variants of every journal append (crash mid-record).
+  bool torn_appends = true;
+  /// Seeded bug: unlink an admitted spool file before archive + enqueue.
+  bool buggy_unlink_before_archive = false;
+  /// Seeded bug: journal a fresh decision even when one is already durable.
+  bool buggy_skip_decided_check = false;
+};
+
+class SpoolModel {
+ public:
+  explicit SpoolModel(SpoolModelOptions opt);
+
+  struct SubRt {
+    bool dropped = false;   ///< client completed its atomic rename
+    bool spool = false;     ///< spool file currently present
+    bool archived = false;  ///< raw text durable under submitted/
+  };
+
+  struct State {
+    std::vector<std::string> journal;  ///< manifest records, append order
+    std::vector<SubRt> subs;
+  };
+
+  std::vector<State> initial() const;
+  std::vector<std::pair<std::string, State>> successors(const State& s) const;
+  std::string invariant(const State& s) const;
+  std::string key(const State& s) const;
+  std::string print(const State& s) const;
+
+  const SpoolModelOptions& options() const { return opt_; }
+
+ private:
+  std::string sub_id(int i) const;
+  std::string case_id(int i) const;
+  std::string tenant_of(int i) const;
+  bool is_rejected_by_policy(int i) const;
+
+  SpoolModelOptions opt_;
+};
+
+}  // namespace felis::verify

@@ -588,5 +588,91 @@ TEST_F(ManifestTest, MultiRankCaseRunsUnderTheBudget) {
   EXPECT_GT(r1, 0);
 }
 
+// ---- service mode: checkpoint-boundary preemption ------------------------
+
+TEST_F(ManifestTest, PreemptedCaseResumesBitwiseIdentical) {
+  // Reference: the victim case, uninterrupted, batch mode.
+  ParamMap base = ParamMap::parse(R"(
+    campaign.workers = 1
+    campaign.thread_budget = 1
+    campaign.steps = 60
+    campaign.backoff_ms = 1
+    case.Ra = 2e4
+    case.dt = 1.5e-2
+    case.perturbation = 2e-2
+    checkpoint.every = 5
+  )");
+  ParamMap ref_params = base;
+  ref_params.set("campaign.dir", dir_ + "/ref");
+  Scheduler ref(CampaignSpec::from_params(ref_params), make_case_runner());
+  ASSERT_TRUE(ref.run().all_done());
+  const auto ref_final = final_checkpoints(ref.spec());
+  ASSERT_EQ(ref_final.size(), 1u);
+  const std::string victim = ref_final.begin()->first;
+
+  // Service mode: the same victim at priority 0 on a 1-thread budget; a
+  // priority-5 submission arrives while it runs and can only fit by
+  // preempting it at its next checkpoint boundary.
+  const std::string dir = dir_ + "/serve";
+  ParamMap params = base;
+  params.set("campaign.dir", dir);
+  CampaignSpec spec = CampaignSpec::from_params(params);
+  ASSERT_EQ(spec.cases.size(), 1u);
+  ASSERT_EQ(spec.cases[0].id, victim);
+  Scheduler scheduler(spec, make_case_runner());
+  scheduler.enable_serve();
+
+  std::thread service([&] {
+    // The victim is running once its checkpoint directory appears; the
+    // intruder submitted then cannot fit without displacing it.
+    const fs::path started = fs::path(dir) / victim / "checkpoints";
+    while (!fs::exists(started))
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    CaseSpec high;
+    high.id = "intruder-Ra3e4";
+    high.threads = 1;
+    high.steps = 5;
+    high.priority = 5;
+    high.tenant = "urgent";
+    high.params = spec.cases[0].params;
+    high.params.set("case.Ra", std::string("3e4"));
+    high.params.set("campaign.steps", 5);
+    std::string error;
+    EXPECT_TRUE(scheduler.submit_case(high, &error)) << error;
+    // Unconditional: a refused submission must still let run() return.
+    scheduler.request_shutdown();
+  });
+  const CampaignReport report = scheduler.run();
+  service.join();
+
+  ASSERT_TRUE(report.all_done());
+  EXPECT_EQ(report.submitted, 1);
+  EXPECT_GE(report.preemptions, 1) << "the intruder never displaced the victim";
+  const auto& out = *std::find_if(
+      report.outcomes.begin(), report.outcomes.end(),
+      [&](const CaseOutcome& o) { return o.id == victim; });
+  EXPECT_GE(out.attempts, 2) << "preempted case did not re-run";
+
+  // The journal shows the preemption state machine: running -> preempted ->
+  // queued -> ... -> done, and the fold lands on done for both cases.
+  const ManifestState folded = read_manifest(dir + "/manifest.ndjson");
+  EXPECT_EQ(folded.cases.at(victim).state, "done");
+  EXPECT_EQ(folded.cases.at("intruder-Ra3e4").state, "done");
+
+  // The acceptance bar: the preempted victim's final state is bitwise
+  // identical to the never-preempted reference (PR 3's exact-restart
+  // guarantee, exercised through the preemption path).
+  const auto serve_final = final_checkpoints(scheduler.spec());
+  const fluid::Checkpoint& ck = serve_final.at(victim);
+  const fluid::Checkpoint& ref_ck = ref_final.at(victim);
+  EXPECT_EQ(ck.step, ref_ck.step);
+  EXPECT_EQ(ck.time, ref_ck.time);
+  ASSERT_EQ(ck.u.size(), ref_ck.u.size());
+  for (usize i = 0; i < ck.u.size(); ++i) {
+    ASSERT_EQ(ck.u[i], ref_ck.u[i]) << "u dof " << i;
+    ASSERT_EQ(ck.temperature[i], ref_ck.temperature[i]) << "T dof " << i;
+  }
+}
+
 }  // namespace
 }  // namespace felis::sched

@@ -1,0 +1,418 @@
+// Tests for the campaign service subsystem: content-addressed spool drops,
+// the four-step crash-safe admission protocol (journal -> enqueue -> archive
+// -> unlink), named rejection/deferral policy, fault-injected submit/admit
+// crashes, startup recovery, and a deterministic crash-at-every-step stress
+// that asserts the same invariants the spool model checker proves
+// exhaustively (src/verify/spool_model.*).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "io/fault_injector.hpp"
+#include "sched/manifest.hpp"
+#include "svc/spool.hpp"
+
+namespace felis::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SpoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("felis_svc_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  sched::CampaignConfig config(int budget = 4) {
+    sched::CampaignConfig cfg;
+    cfg.dir = dir_;
+    cfg.thread_budget = budget;
+    cfg.ranks = 1;
+    return cfg;
+  }
+
+  std::string dir_;
+};
+
+const char* kSweepText =
+    "submit.tenant = alice\n"
+    "submit.priority = 3\n"
+    "case.steps = 2\n"
+    "sweep.Ra = 1e5,1e6\n";
+
+// ---- ids and client-side drops -------------------------------------------
+
+TEST_F(SpoolTest, SubmissionIdIsContentAddressedAndSanitized) {
+  const std::string a = submission_id("sweep alice!", "x = 1\n");
+  const std::string b = submission_id("sweep alice!", "x = 1\n");
+  const std::string c = submission_id("sweep alice!", "x = 2\n");
+  EXPECT_EQ(a, b) << "identical bytes must map to the same id";
+  EXPECT_NE(a, c) << "different bytes must map to different ids";
+  // The stem is sanitized to [A-Za-z0-9._-]; the suffix is the content hash.
+  EXPECT_EQ(a.rfind("sweep-alice--", 0), 0u) << a;
+  EXPECT_EQ(a.size(), std::string("sweep-alice--").size() + 16);
+}
+
+TEST_F(SpoolTest, SubmitTextIsAtomicAndIdempotent) {
+  const std::string id = submit_text(dir_, "sweep", kSweepText);
+  EXPECT_EQ(id, submission_id("sweep", kSweepText));
+  ASSERT_TRUE(fs::exists(spool_path(dir_, id)));
+  // Resubmitting identical bytes lands on the same file, not a duplicate.
+  EXPECT_EQ(submit_text(dir_, "sweep", kSweepText), id);
+  EXPECT_EQ(scan_spool(dir_).size(), 1u);
+}
+
+TEST_F(SpoolTest, ControlVerbsRoundTripAndRejectUnknown) {
+  request_control(dir_, "drain");
+  request_control(dir_, "shutdown");
+  const auto verbs = scan_controls(dir_);
+  ASSERT_EQ(verbs.size(), 2u);
+  EXPECT_THROW(request_control(dir_, "explode"), Error);
+}
+
+// ---- parsing and expansion -----------------------------------------------
+
+TEST_F(SpoolTest, ParseSubmissionExpandsPrefixedTenantedCases) {
+  const std::string id = submit_text(dir_, "sweep", kSweepText);
+  const Submission sub = parse_submission(spool_path(dir_, id), config());
+  EXPECT_EQ(sub.id, id);
+  EXPECT_EQ(sub.tenant, "alice");
+  EXPECT_EQ(sub.priority, 3);
+  ASSERT_EQ(sub.cases.size(), 2u);
+  for (const sched::CaseSpec& cs : sub.cases) {
+    EXPECT_EQ(cs.id.rfind(id + "-", 0), 0u)
+        << cs.id << " not namespaced under its submission";
+    EXPECT_EQ(cs.tenant, "alice");
+    EXPECT_EQ(cs.priority, 3);
+    EXPECT_GT(cs.cost_seconds, 0.0) << "perfmodel estimate missing";
+  }
+  EXPECT_GT(sub.cost_seconds, 0.0);
+  EXPECT_GE(sub.cost_seconds, sub.max_case_seconds);
+  // Cost-ordered (LPT) within equal priority: most expensive first.
+  EXPECT_GE(sub.cases[0].cost_seconds, sub.cases[1].cost_seconds);
+}
+
+TEST_F(SpoolTest, ParseRejectsMalformedSweepNamingTheKey) {
+  const std::string id = submit_text(dir_, "bad", "sweep.Ra = 1e5:1e8\n");
+  try {
+    parse_submission(spool_path(dir_, id), config());
+    FAIL() << "malformed sweep accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("sweep.Ra"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- the admission protocol ----------------------------------------------
+
+struct AdmitHarness {
+  std::vector<AdmissionDecision> journalled;
+  std::vector<sched::CaseSpec> enqueued;
+  std::map<std::string, sched::SubmissionStatus> decided;
+
+  JournalFn journal() {
+    return [this](const AdmissionDecision& d) { journalled.push_back(d); };
+  }
+  EnqueueFn enqueue() {
+    return [this](sched::CaseSpec cs, std::string* error) {
+      for (const sched::CaseSpec& seen : enqueued) {
+        if (seen.id == cs.id) {
+          if (error) *error = "duplicate case id '" + cs.id + "'";
+          return false;
+        }
+      }
+      enqueued.push_back(std::move(cs));
+      return true;
+    };
+  }
+};
+
+TEST_F(SpoolTest, AdmissionJournalsEnqueuesArchivesAndUnlinks) {
+  const std::string id = submit_text(dir_, "sweep", kSweepText);
+  AdmitHarness h;
+  const AdmissionDecision d =
+      admit_spool_file(dir_, spool_path(dir_, id), config(), h.decided, 0.0,
+                       h.journal(), h.enqueue());
+  EXPECT_EQ(d.decision, "admitted");
+  EXPECT_EQ(d.reason, "");
+  EXPECT_EQ(d.tenant, "alice");
+  EXPECT_EQ(d.priority, 3);
+  EXPECT_EQ(d.case_count, 2);
+  ASSERT_EQ(h.journalled.size(), 1u);
+  ASSERT_EQ(h.enqueued.size(), 2u);
+  EXPECT_TRUE(fs::exists(archive_path(dir_, id)));
+  EXPECT_FALSE(fs::exists(spool_path(dir_, id)));
+  EXPECT_TRUE(h.decided.at(id).terminal());
+  // The archive is the submission's bytes, verbatim.
+  std::ifstream in(archive_path(dir_, id));
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, kSweepText);
+}
+
+TEST_F(SpoolTest, RejectionsAreNamedJournalledAndRemoveTheFile) {
+  struct Case {
+    const char* stem;
+    std::string text;
+    const char* reason;
+  };
+  const std::vector<Case> cases = {
+      {"broken", "sweep.Ra = 1e5:1e8\n", "parse-error"},
+      {"wide", "case.ranks = 64\ncase.steps = 1\nsweep.Ra = 1e5\n",
+       "over-thread-budget"},
+      {"huge", "case.steps = 2000000000\nsweep.Ra = 1e15\n",
+       "over-cost-budget"},
+  };
+  sched::CampaignConfig cfg = config(/*budget=*/4);
+  cfg.max_case_cost_seconds = 0.5;
+  for (const Case& c : cases) {
+    const std::string id = submit_text(dir_, c.stem, c.text);
+    AdmitHarness h;
+    const AdmissionDecision d =
+        admit_spool_file(dir_, spool_path(dir_, id), cfg, h.decided, 0.0,
+                         h.journal(), h.enqueue());
+    EXPECT_EQ(d.decision, "rejected") << c.stem;
+    EXPECT_EQ(d.reason, c.reason) << c.stem;
+    ASSERT_EQ(h.journalled.size(), 1u) << c.stem;
+    EXPECT_TRUE(h.enqueued.empty()) << c.stem;
+    EXPECT_FALSE(fs::exists(spool_path(dir_, id))) << c.stem;
+    EXPECT_FALSE(fs::exists(archive_path(dir_, id))) << c.stem;
+  }
+}
+
+TEST_F(SpoolTest, BacklogDeferralJournalsOnceAndKeepsTheFile) {
+  sched::CampaignConfig cfg = config();
+  cfg.max_pending_cost_seconds = 1.0;
+  const std::string id = submit_text(dir_, "sweep", kSweepText);
+  AdmitHarness h;
+  const AdmissionDecision d1 =
+      admit_spool_file(dir_, spool_path(dir_, id), cfg, h.decided,
+                       /*pending_cost_seconds=*/100.0, h.journal(),
+                       h.enqueue());
+  EXPECT_EQ(d1.decision, "deferred");
+  EXPECT_EQ(d1.reason, "backlog-full");
+  EXPECT_TRUE(fs::exists(spool_path(dir_, id))) << "deferred file must stay";
+  EXPECT_EQ(h.journalled.size(), 1u);
+
+  // Still over budget at the next poll: no second journal record.
+  const AdmissionDecision d2 =
+      admit_spool_file(dir_, spool_path(dir_, id), cfg, h.decided, 100.0,
+                       h.journal(), h.enqueue());
+  EXPECT_EQ(d2.decision, "deferred");
+  EXPECT_EQ(h.journalled.size(), 1u) << "deferral must be journalled once";
+
+  // Backlog drains: the deferred submission is re-decided and admitted.
+  const AdmissionDecision d3 =
+      admit_spool_file(dir_, spool_path(dir_, id), cfg, h.decided, 0.0,
+                       h.journal(), h.enqueue());
+  EXPECT_EQ(d3.decision, "admitted");
+  EXPECT_EQ(h.journalled.size(), 2u);
+  EXPECT_FALSE(fs::exists(spool_path(dir_, id)));
+}
+
+// ---- fault injection ------------------------------------------------------
+
+TEST_F(SpoolTest, SubmitCrashLeavesNoTornSpoolEntryAndIsRetryable) {
+  io::FaultInjector crash({io::FaultInjector::Mode::kCrash, 1, 1, 0});
+  EXPECT_THROW(submit_text(dir_, "sweep", kSweepText, &crash),
+               io::InjectedCrash);
+  EXPECT_TRUE(scan_spool(dir_).empty())
+      << "a crashed submit must not be visible in the spool";
+  // The client retries after its "restart": same id, clean drop.
+  const std::string id = submit_text(dir_, "sweep", kSweepText);
+  EXPECT_EQ(scan_spool(dir_).size(), 1u);
+  EXPECT_TRUE(fs::exists(spool_path(dir_, id)));
+}
+
+TEST_F(SpoolTest, SubmitFailWriteIsTransientAndRetryable) {
+  io::FaultInjector fail({io::FaultInjector::Mode::kFailWrite, 1, 1, 0});
+  EXPECT_THROW(submit_text(dir_, "sweep", kSweepText, &fail), Error);
+  EXPECT_TRUE(scan_spool(dir_).empty());
+  // The same injector succeeds on the next attempt (count = 1).
+  const std::string id = submit_text(dir_, "sweep", kSweepText, &fail);
+  EXPECT_TRUE(fs::exists(spool_path(dir_, id)));
+}
+
+TEST_F(SpoolTest, ArchiveCrashIsRecoveredWithoutASecondDecision) {
+  const std::string id = submit_text(dir_, "sweep", kSweepText);
+  sched::ManifestWriter manifest(dir_ + "/manifest.ndjson");
+  AdmitHarness h;
+  const JournalFn journal = [&](const AdmissionDecision& d) {
+    manifest.write_submit(d.id, d.tenant, d.priority, d.decision, d.reason,
+                          d.case_count, d.cost_seconds, 0.0);
+  };
+  // The archive write dies mid-protocol: decision + cases are durable, the
+  // spool file survives for recovery.
+  io::FaultInjector crash({io::FaultInjector::Mode::kCrash, 1, 1, 0});
+  EXPECT_THROW(admit_spool_file(dir_, spool_path(dir_, id), config(),
+                                h.decided, 0.0, journal, h.enqueue(), &crash),
+               io::InjectedCrash);
+  EXPECT_TRUE(fs::exists(spool_path(dir_, id)));
+  EXPECT_FALSE(fs::exists(archive_path(dir_, id)));
+  EXPECT_EQ(h.enqueued.size(), 2u);
+
+  // "Restart": recovery folds the manifest and finishes the protocol for the
+  // already-admitted file — archive written, spool unlinked, cases
+  // re-expanded, and crucially NO second submit record (the fold would throw
+  // sched::ManifestReplayError on one).
+  const sched::ManifestState folded =
+      sched::read_manifest(dir_ + "/manifest.ndjson");
+  ASSERT_TRUE(folded.submissions.at(id).terminal());
+  const std::vector<sched::CaseSpec> recovered =
+      recover_submissions(dir_, config(), folded);
+  EXPECT_TRUE(fs::exists(archive_path(dir_, id)));
+  EXPECT_FALSE(fs::exists(spool_path(dir_, id)));
+  ASSERT_EQ(recovered.size(), 2u);
+  const sched::ManifestState refolded =
+      sched::read_manifest(dir_ + "/manifest.ndjson");
+  EXPECT_EQ(refolded.submissions.size(), 1u);
+}
+
+// ---- deterministic crash stress ------------------------------------------
+//
+// Kill the admission at every protocol step, then recover and finish. The
+// invariants asserted after every (crash point, recovery) pair are exactly
+// the spool model's (src/verify/spool_model.cpp): exactly one terminal
+// decision per submission in the fold, an admitted submission's cases and
+// archive durable before its spool entry disappears, and nothing lost.
+TEST_F(SpoolTest, CrashAtEveryStepLosesNothingAndAdmitsOnce) {
+  // Crash points: 0 = before the decision journal lands, 1 = after the
+  // decision, 2 = after the decision + enqueues, 3 = during the archive
+  // write, 4 = no crash at all.
+  for (int crash_at = 0; crash_at <= 4; ++crash_at) {
+    SCOPED_TRACE("crash point " + std::to_string(crash_at));
+    const std::string dir = dir_ + "/p" + std::to_string(crash_at);
+    fs::create_directories(dir);
+    const std::string id = submit_text(dir, "sweep", kSweepText);
+    const std::string manifest_path = dir + "/manifest.ndjson";
+
+    std::vector<sched::CaseSpec> enqueued;
+    const auto enqueue = [&enqueued](sched::CaseSpec cs, std::string* error) {
+      for (const sched::CaseSpec& seen : enqueued) {
+        if (seen.id == cs.id) {
+          if (error) *error = "duplicate case id '" + cs.id + "'";
+          return false;
+        }
+      }
+      enqueued.push_back(std::move(cs));
+      return true;
+    };
+
+    // First life: run the protocol, dying at the configured step.
+    {
+      sched::ManifestWriter manifest(manifest_path);
+      std::map<std::string, sched::SubmissionStatus> decided;
+      int enqueues = 0;
+      const JournalFn journal = [&](const AdmissionDecision& d) {
+        if (crash_at == 0) throw io::InjectedCrash("before decision journal");
+        manifest.write_submit(d.id, d.tenant, d.priority, d.decision,
+                              d.reason, d.case_count, d.cost_seconds, 0.0);
+        if (crash_at == 1) throw io::InjectedCrash("after decision journal");
+      };
+      const EnqueueFn crashy_enqueue = [&](sched::CaseSpec cs,
+                                           std::string* error) {
+        const bool ok = enqueue(std::move(cs), error);
+        if (ok && crash_at == 2 && ++enqueues == 2)
+          throw io::InjectedCrash("after enqueues");
+        return ok;
+      };
+      io::FaultInjector archive_crash(
+          {crash_at == 3 ? io::FaultInjector::Mode::kCrash
+                         : io::FaultInjector::Mode::kNone,
+           1, 1, 0});
+      try {
+        admit_spool_file(dir, spool_path(dir, id), config(), decided, 0.0,
+                         journal, crashy_enqueue, &archive_crash);
+        EXPECT_EQ(crash_at, 4) << "crash point did not fire";
+      } catch (const io::InjectedCrash&) {
+        EXPECT_LT(crash_at, 4);
+      }
+    }
+
+    // Second life: fold, recover, re-admit whatever is still spooled.
+    const sched::ManifestState folded = sched::read_manifest(manifest_path);
+    std::vector<sched::CaseSpec> recovered =
+        recover_submissions(dir, config(), folded);
+    {
+      sched::ManifestWriter manifest(manifest_path);
+      std::map<std::string, sched::SubmissionStatus> decided =
+          folded.submissions;
+      const JournalFn journal = [&](const AdmissionDecision& d) {
+        manifest.write_submit(d.id, d.tenant, d.priority, d.decision,
+                              d.reason, d.case_count, d.cost_seconds, 0.0);
+      };
+      for (const std::string& file : scan_spool(dir)) {
+        const AdmissionDecision d = admit_spool_file(
+            dir, file, config(), decided, 0.0, journal, enqueue);
+        EXPECT_EQ(d.decision, "admitted");
+      }
+    }
+
+    // The checker's invariants, on the real filesystem + journal:
+    //  * the fold accepts the journal (no duplicate terminal decision) and
+    //    shows exactly one admitted submission;
+    //  * the spool is empty and the archive holds the submission;
+    //  * between enqueue replay and recovery re-expansion, exactly the two
+    //    expanded cases exist, each admitted exactly once.
+    const sched::ManifestState final_fold = sched::read_manifest(manifest_path);
+    ASSERT_EQ(final_fold.submissions.size(), 1u);
+    EXPECT_EQ(final_fold.submissions.at(id).decision, "admitted");
+    EXPECT_TRUE(scan_spool(dir).empty());
+    EXPECT_TRUE(fs::exists(archive_path(dir, id)));
+    std::set<std::string> case_ids;
+    for (const sched::CaseSpec& cs : enqueued) case_ids.insert(cs.id);
+    for (const sched::CaseSpec& cs : recovered) case_ids.insert(cs.id);
+    EXPECT_EQ(case_ids.size(), 2u);
+    for (const std::string& cid : case_ids)
+      EXPECT_EQ(cid.rfind(id + "-", 0), 0u) << cid;
+  }
+}
+
+// ---- startup recovery -----------------------------------------------------
+
+TEST_F(SpoolTest, RecoveryReExpandsArchivesAndDropsRejectedSpoolFiles) {
+  // An archived (previously admitted) submission, a spool file whose
+  // rejection is durable but whose unlink was lost, and an undecided drop.
+  sched::ManifestWriter manifest(dir_ + "/manifest.ndjson");
+  const std::string admitted_id = submit_text(dir_, "sweep", kSweepText);
+  manifest.write_submit(admitted_id, "alice", 3, "admitted", "", 2, 1.0, 0.0);
+  const std::string rejected_id = submit_text(dir_, "bad", "sweep.Ra = :::\n");
+  manifest.write_submit(rejected_id, "default", 0, "rejected", "parse-error",
+                        0, 0.0, 0.0);
+  const std::string undecided_id =
+      submit_text(dir_, "later", "case.steps = 1\nsweep.Ra = 1e5\n");
+
+  const sched::ManifestState folded =
+      sched::read_manifest(dir_ + "/manifest.ndjson");
+  const std::vector<sched::CaseSpec> recovered =
+      recover_submissions(dir_, config(), folded);
+
+  // Admitted: archived, unlinked, re-expanded (2 cases, tenant restored).
+  EXPECT_TRUE(fs::exists(archive_path(dir_, admitted_id)));
+  EXPECT_FALSE(fs::exists(spool_path(dir_, admitted_id)));
+  ASSERT_EQ(recovered.size(), 2u);
+  for (const sched::CaseSpec& cs : recovered) {
+    EXPECT_EQ(cs.tenant, "alice");
+    EXPECT_EQ(cs.priority, 3);
+  }
+  // Rejected: gone for good, never archived.
+  EXPECT_FALSE(fs::exists(spool_path(dir_, rejected_id)));
+  EXPECT_FALSE(fs::exists(archive_path(dir_, rejected_id)));
+  // Undecided: left for the live poller.
+  EXPECT_TRUE(fs::exists(spool_path(dir_, undecided_id)));
+}
+
+}  // namespace
+}  // namespace felis::svc

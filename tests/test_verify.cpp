@@ -24,6 +24,7 @@
 #include "verify/checker.hpp"
 #include "verify/checkpoint_model.hpp"
 #include "verify/manifest_model.hpp"
+#include "verify/spool_model.hpp"
 
 namespace felis::verify {
 namespace {
@@ -208,6 +209,47 @@ TEST(Models, CheckpointRecoveryMatchesGhostTruthUnderEveryFault) {
   const CheckResult r = check(CheckpointModel{opt});
   EXPECT_TRUE(r.complete);
   EXPECT_TRUE(r.ok) << r.violation;
+}
+
+TEST(Models, SpoolAdmissionProtocolHoldsAtDocumentedBounds) {
+  const SpoolModel model{SpoolModelOptions{}};
+  const CheckResult r = check(model);
+  EXPECT_TRUE(r.complete) << "documented bounds no longer exhaust";
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_GT(r.stats.states, 10u) << "model degenerated; bounds too small";
+}
+
+TEST(Models, SpoolAdmissionProtocolHoldsWithThreeSubmissions) {
+  SpoolModelOptions opt;
+  opt.submissions = 3;
+  const CheckResult r = check(SpoolModel{opt}, 4000000);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.ok) << r.violation;
+}
+
+TEST(Models, SpoolUnlinkBeforeArchiveLosesAcceptedWork) {
+  // The seeded bug: unlink the spool file as soon as the decision is
+  // durable, before the case records and the archive land. A crash in that
+  // window loses the accepted submission's parameters — the checker must
+  // find the trace and name the loss.
+  SpoolModelOptions opt;
+  opt.buggy_unlink_before_archive = true;
+  const CheckResult r = check(SpoolModel{opt});
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("work lost"), std::string::npos) << r.violation;
+  EXPECT_FALSE(r.trace.empty()) << "no counterexample trace";
+}
+
+TEST(Models, SpoolSkippingDecidedCheckDoubleAdmits) {
+  // The converse seeded bug: re-decide a submission whose decision is
+  // already durable. The production fold refuses the duplicate terminal
+  // decision, which the model surfaces as a double-admission violation.
+  SpoolModelOptions opt;
+  opt.buggy_skip_decided_check = true;
+  const CheckResult r = check(SpoolModel{opt});
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("double admission"), std::string::npos)
+      << r.violation;
 }
 
 // ---- deterministic stress mirrors against the real implementation --------
